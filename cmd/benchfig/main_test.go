@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The harness must run every experiment end to end at a tiny scale.
+func TestHarnessSmoke(t *testing.T) {
+	h := &harness{unit: 30, steps: 2, runs: 1}
+	for id := range figures {
+		if err := h.runFigure(id); err != nil {
+			t.Errorf("figure %s: %v", id, err)
+		}
+	}
+	if err := h.runFigure("nope"); err == nil {
+		t.Error("unknown figure must error")
+	}
+	h.runPruning()
+	h.runGalax()
+	h.runSizeBound()
+	h.runBlowup()
+
+	if _, err := completeView(3); err != nil {
+		t.Errorf("completeView: %v", err)
+	}
+}

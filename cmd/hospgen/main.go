@@ -1,0 +1,85 @@
+// Command hospgen generates synthetic hospital documents conforming to the
+// paper's recursive hospital DTD (Fig. 1a). It is the repository's ToXGene
+// stand-in (§7): documents grow linearly with -patients (≈10,000 patients
+// per 7 MB in the paper), bound their depth at 13, and keep roughly two
+// element nodes per text node.
+//
+// Usage:
+//
+//	hospgen -patients 10000 -o hospital.xml
+//	hospgen -patients 1000 -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"smoqe/internal/datagen"
+	"smoqe/internal/hospital"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hospgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hospgen", flag.ContinueOnError)
+	patients := fs.Int("patients", 1000, "number of in-patients")
+	out := fs.String("o", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	heart := fs.Float64("heart", 0.12, "fraction of visits diagnosed as heart disease")
+	stats := fs.Bool("stats", false, "print corpus statistics instead of XML")
+	indent := fs.Bool("indent", false, "pretty-print the XML")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := datagen.DefaultConfig(*patients)
+	cfg.Seed = *seed
+	cfg.HeartFrac = *heart
+	doc := datagen.Generate(cfg)
+
+	if err := hospital.DocDTD().CheckDocument(doc); err != nil {
+		return fmt.Errorf("generated document invalid: %w", err)
+	}
+
+	if *stats {
+		st := doc.ComputeStats()
+		fmt.Fprintf(stdout, "patients:      %d\n", *patients)
+		fmt.Fprintf(stdout, "element nodes: %d\n", st.Elements)
+		fmt.Fprintf(stdout, "text nodes:    %d\n", st.Texts)
+		fmt.Fprintf(stdout, "elem:text:     %.2f\n", float64(st.Elements)/float64(st.Texts))
+		fmt.Fprintf(stdout, "max depth:     %d\n", st.MaxDepth)
+		fmt.Fprintf(stdout, "XML size:      %.2f MB\n", float64(doc.XMLSize())/(1<<20))
+		labels := make([]string, 0, len(st.LabelCounts))
+		for l := range st.LabelCounts {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(stdout, "  %-12s %d\n", l, st.LabelCounts[l])
+		}
+		return nil
+	}
+
+	w := bufio.NewWriter(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := doc.WriteXML(w, *indent); err != nil {
+		return err
+	}
+	return w.Flush()
+}

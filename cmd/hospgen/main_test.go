@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/xmltree"
+)
+
+func TestRunStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-patients", "50", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"element nodes:", "max depth:", "patient"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWritesValidXML(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.xml")
+	if err := run([]string{"-patients", "30", "-o", path, "-indent"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(string(b))
+	if err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+	if err := hospital.DocDTD().CheckDocument(doc); err != nil {
+		t.Fatalf("output invalid: %v", err)
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-patients", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "<hospital>") {
+		t.Errorf("unexpected output prefix: %.40q", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-patients", "notanumber"}, os.Stdout); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

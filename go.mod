@@ -1,0 +1,3 @@
+module smoqe
+
+go 1.22

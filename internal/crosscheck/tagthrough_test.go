@@ -1,0 +1,36 @@
+package crosscheck_test
+
+// Regression: RewriteMFA must carry the result tags of batch automata
+// through the product, so merged multi-query automata can be rewritten
+// over a view and still answer per bucket (found by review).
+
+import (
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/mfa"
+	"smoqe/internal/rewrite"
+	"smoqe/internal/xpath"
+)
+
+func TestRewriteMFAPreservesTags(t *testing.T) {
+	v := hospital.Sigma0()
+	q1 := xpath.MustParse("patient")
+	q2 := xpath.MustParse("patient/record")
+	m1 := mfa.MustCompile(q1)
+	m2 := mfa.MustCompile(q2)
+	merged, err := mfa.Merge([]*mfa.MFA{m1, m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumTags() != 2 {
+		t.Fatalf("merged NumTags = %d", merged.NumTags())
+	}
+	rw, err := rewrite.RewriteMFA(v, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumTags() != 2 {
+		t.Fatalf("rewritten NumTags = %d, want 2 (tags lost)", rw.NumTags())
+	}
+}

@@ -1,0 +1,179 @@
+// Package datagen generates synthetic hospital documents conforming to the
+// paper's recursive document DTD (Fig. 1a). It stands in for the ToXGene
+// template generator used in §7 and reproduces the published dataset shape:
+// recursive parent chains bounding tree depth at 13, roughly two element
+// nodes per text node, short text values (to keep selectivity knobs from
+// dominating document size), and document sizes growing linearly in the
+// number of patients (the paper's 7 MB increments each add ~10,000
+// patients).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoqe/internal/xmltree"
+)
+
+// Config parameterizes the generator. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Patients is the number of in-patients (top-level patients across
+	// all departments). Ancestors and siblings are generated on top.
+	Patients int
+	// Departments is the number of department elements the patients are
+	// spread over.
+	Departments int
+	// HeartFrac is the fraction of visits diagnosed as heart disease
+	// (the selectivity knob of the paper's workload queries).
+	HeartFrac float64
+	// TestFrac is the fraction of treatments that are tests (the rest are
+	// medications carrying a diagnosis).
+	TestFrac float64
+	// MaxAncestorLevels bounds the parent/patient recursion depth; 3
+	// keeps the overall tree depth at 13 like the paper's documents.
+	MaxAncestorLevels int
+	// SiblingFrac is the fraction of in-patients with a (non-recursive)
+	// sibling entry.
+	SiblingFrac float64
+	// MaxVisits bounds visits per patient (uniform in [1, MaxVisits]).
+	MaxVisits int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the benchmarks:
+// shaped to match the §7 corpus (≈30 element nodes per patient, ≈2:1
+// element-to-text ratio, depth ≤ 13).
+func DefaultConfig(patients int) Config {
+	return Config{
+		Patients:          patients,
+		Departments:       1 + patients/1000,
+		HeartFrac:         0.12,
+		TestFrac:          0.40,
+		MaxAncestorLevels: 3,
+		SiblingFrac:       0.25,
+		MaxVisits:         2,
+		Seed:              1,
+	}
+}
+
+var diseases = []string{
+	"flu", "lung disease", "brain disease", "diabetes", "asthma",
+	"arthritis", "anemia", "migraine",
+}
+
+var testTypes = []string{"ecg", "xray", "mri", "biopsy", "bloodwork"}
+
+var medTypes = []string{"statin", "betablocker", "antibiotic", "insulin", "analgesic"}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "Dan", "Erin", "Frank", "Grace", "Heidi",
+	"Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+}
+
+var streets = []string{"Elm", "Oak", "Ash", "Fir", "Yew", "Birch", "Pine", "Cedar"}
+
+var cities = []string{"Edinburgh", "Glasgow", "Dundee", "Stirling", "Perth", "Leith"}
+
+var specialties = []string{"cardiology", "radiology", "general", "oncology", "neurology"}
+
+// Generate builds a document per cfg. The result always conforms to the
+// hospital document DTD.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.Patients < 0 {
+		cfg.Patients = 0
+	}
+	if cfg.Departments < 1 {
+		cfg.Departments = 1
+	}
+	if cfg.MaxVisits < 1 {
+		cfg.MaxVisits = 1
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), doc: xmltree.NewDocument("hospital")}
+	perDept := cfg.Patients / cfg.Departments
+	extra := cfg.Patients % cfg.Departments
+	for d := 0; d < cfg.Departments; d++ {
+		dept := g.doc.AddElement(g.doc.Root, "department")
+		name := g.doc.AddElement(dept, "name")
+		g.doc.AddText(name, fmt.Sprintf("dept-%d", d))
+		n := perDept
+		if d < extra {
+			n++
+		}
+		for p := 0; p < n; p++ {
+			g.patient(dept, cfg.MaxAncestorLevels, true)
+		}
+	}
+	return g.doc
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	doc *xmltree.Document
+	seq int
+}
+
+// patient emits a patient element under parent. ancestorBudget bounds the
+// remaining parent/patient recursion; withSibling enables a sibling entry
+// (only for in-patients, keeping depth bounded).
+func (g *generator) patient(parent *xmltree.Node, ancestorBudget int, withSibling bool) {
+	g.seq++
+	p := g.doc.AddElement(parent, "patient")
+	pname := g.doc.AddElement(p, "pname")
+	g.doc.AddText(pname, fmt.Sprintf("%s-%d", firstNames[g.rng.Intn(len(firstNames))], g.seq))
+	g.address(p)
+
+	// Ancestors: geometric-ish decay so chains of full depth are rare but
+	// present (they exercise the recursive queries).
+	if ancestorBudget > 0 && g.rng.Float64() < 0.6 {
+		par := g.doc.AddElement(p, "parent")
+		g.patient(par, ancestorBudget-1, false)
+	}
+	if withSibling && g.rng.Float64() < g.cfg.SiblingFrac {
+		sib := g.doc.AddElement(p, "sibling")
+		g.patient(sib, 0, false)
+	}
+	visits := 1 + g.rng.Intn(g.cfg.MaxVisits)
+	for v := 0; v < visits; v++ {
+		g.visit(p)
+	}
+}
+
+func (g *generator) address(p *xmltree.Node) {
+	addr := g.doc.AddElement(p, "address")
+	st := g.doc.AddElement(addr, "street")
+	g.doc.AddText(st, fmt.Sprintf("%d %s", 1+g.rng.Intn(99), streets[g.rng.Intn(len(streets))]))
+	city := g.doc.AddElement(addr, "city")
+	g.doc.AddText(city, cities[g.rng.Intn(len(cities))])
+	zip := g.doc.AddElement(addr, "zip")
+	g.doc.AddText(zip, fmt.Sprintf("Z%04d", g.rng.Intn(10000)))
+}
+
+func (g *generator) visit(p *xmltree.Node) {
+	v := g.doc.AddElement(p, "visit")
+	date := g.doc.AddElement(v, "date")
+	g.doc.AddText(date, fmt.Sprintf("200%d-%02d-%02d", g.rng.Intn(7), 1+g.rng.Intn(12), 1+g.rng.Intn(28)))
+	tr := g.doc.AddElement(v, "treatment")
+	if g.rng.Float64() < g.cfg.TestFrac {
+		test := g.doc.AddElement(tr, "test")
+		typ := g.doc.AddElement(test, "type")
+		g.doc.AddText(typ, testTypes[g.rng.Intn(len(testTypes))])
+	} else {
+		med := g.doc.AddElement(tr, "medication")
+		typ := g.doc.AddElement(med, "type")
+		g.doc.AddText(typ, medTypes[g.rng.Intn(len(medTypes))])
+		diag := g.doc.AddElement(med, "diagnosis")
+		if g.rng.Float64() < g.cfg.HeartFrac {
+			g.doc.AddText(diag, "heart disease")
+		} else {
+			g.doc.AddText(diag, diseases[g.rng.Intn(len(diseases))])
+		}
+	}
+	doc := g.doc.AddElement(v, "doctor")
+	dn := g.doc.AddElement(doc, "dname")
+	g.doc.AddText(dn, fmt.Sprintf("Dr-%d", g.rng.Intn(500)))
+	sp := g.doc.AddElement(doc, "specialty")
+	g.doc.AddText(sp, specialties[g.rng.Intn(len(specialties))])
+}

@@ -1,0 +1,103 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"smoqe/internal/datagen"
+	"smoqe/internal/hospital"
+)
+
+func TestConformsToDTD(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(200))
+	if err := hospital.DocDTD().CheckDocument(doc); err != nil {
+		t.Fatalf("generated document invalid: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := datagen.Generate(datagen.DefaultConfig(100)).XMLString()
+	b := datagen.Generate(datagen.DefaultConfig(100)).XMLString()
+	if a != b {
+		t.Error("same seed must generate identical documents")
+	}
+	cfg := datagen.DefaultConfig(100)
+	cfg.Seed = 2
+	c := datagen.Generate(cfg).XMLString()
+	if a == c {
+		t.Error("different seeds should generate different documents")
+	}
+}
+
+// TestGeneratorShape checks the §7 dataset shape: depth ≤ 13 (and the full
+// recursion depth is actually reached), and roughly two element nodes per
+// text node (the paper's 7 MB document has 303,714 elements vs 151,187
+// texts ≈ 2.0).
+func TestGeneratorShape(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(2000))
+	st := doc.ComputeStats()
+	if st.MaxDepth > 13 {
+		t.Errorf("max depth %d exceeds the paper's 13", st.MaxDepth)
+	}
+	if st.MaxDepth < 13 {
+		t.Errorf("max depth %d; generator should reach full recursion depth 13", st.MaxDepth)
+	}
+	ratio := float64(st.Elements) / float64(st.Texts)
+	if ratio < 1.4 || ratio > 2.6 {
+		t.Errorf("element:text ratio = %.2f (%d:%d), want ≈ 2", ratio, st.Elements, st.Texts)
+	}
+	// Elements per in-patient in the paper: 303714/10000 ≈ 30.
+	perPatient := float64(st.Elements) / 2000
+	if perPatient < 15 || perPatient > 60 {
+		t.Errorf("elements per patient = %.1f, want around 30", perPatient)
+	}
+	// All labels of the DTD actually occur.
+	for _, lbl := range []string{"parent", "sibling", "test", "medication", "diagnosis", "doctor"} {
+		if st.LabelCounts[lbl] == 0 {
+			t.Errorf("label %q never generated", lbl)
+		}
+	}
+}
+
+func TestLinearGrowth(t *testing.T) {
+	s1 := datagen.Generate(datagen.DefaultConfig(500)).XMLSize()
+	s2 := datagen.Generate(datagen.DefaultConfig(1000)).XMLSize()
+	ratio := float64(s2) / float64(s1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("doubling patients changed size by %.2fx, want ≈ 2x (%d -> %d bytes)", ratio, s1, s2)
+	}
+}
+
+func TestSelectivityKnob(t *testing.T) {
+	lo := datagen.DefaultConfig(1000)
+	lo.HeartFrac = 0.01
+	hi := datagen.DefaultConfig(1000)
+	hi.HeartFrac = 0.9
+	countHeart := func(cfg datagen.Config) int {
+		doc := datagen.Generate(cfg)
+		n := 0
+		for id := 0; id < doc.NumNodes(); id++ {
+			nd := doc.NodeByID(id)
+			if nd.Label == "diagnosis" && nd.TextContent() == "heart disease" {
+				n++
+			}
+		}
+		return n
+	}
+	if countHeart(lo) >= countHeart(hi) {
+		t.Error("HeartFrac knob has no effect")
+	}
+}
+
+func TestEdgeConfigs(t *testing.T) {
+	// Zero patients: just departments with names.
+	doc := datagen.Generate(datagen.DefaultConfig(0))
+	if err := hospital.DocDTD().CheckDocument(doc); err != nil {
+		t.Errorf("empty corpus invalid: %v", err)
+	}
+	// Negative and degenerate values are clamped.
+	cfg := datagen.Config{Patients: -5, Departments: 0, MaxVisits: 0, Seed: 3}
+	doc2 := datagen.Generate(cfg)
+	if err := hospital.DocDTD().CheckDocument(doc2); err != nil {
+		t.Errorf("clamped config invalid: %v", err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package dtd implements the DTD model of the paper (§2.2): a DTD is a
+// triple (Ele, P, r) where every production P(A) has one of the normal
+// forms
+//
+//	A → str                  (PCDATA)
+//	A → ε                    (empty)
+//	A → B1, ..., Bn          (sequence; each Bi a child type, optionally starred)
+//	A → B1 + ... + Bn        (disjunction, n > 1)
+//
+// Any DTD can be brought into this form by introducing fresh element types,
+// so the restriction loses no generality. The package also provides a
+// textual format, the DTD graph, recursion detection and document
+// validation.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smoqe/internal/xmltree"
+)
+
+// ContentKind classifies the production of an element type.
+type ContentKind uint8
+
+const (
+	// Empty means A → ε: no children, no text.
+	Empty ContentKind = iota
+	// Str means A → str: a single text (PCDATA) child.
+	Str
+	// Seq means A → B1, ..., Bn: a concatenation of child types, each
+	// possibly starred.
+	Seq
+	// Choice means A → B1 + ... + Bn: exactly one of the child types.
+	Choice
+)
+
+func (k ContentKind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Str:
+		return "str"
+	case Seq:
+		return "seq"
+	case Choice:
+		return "choice"
+	default:
+		return fmt.Sprintf("ContentKind(%d)", uint8(k))
+	}
+}
+
+// Term is one item of a production body: a child element type with an
+// optional Kleene star.
+type Term struct {
+	Type string
+	Star bool
+}
+
+func (t Term) String() string {
+	if t.Star {
+		return t.Type + "*"
+	}
+	return t.Type
+}
+
+// Production is the right-hand side P(A) of an element type A.
+type Production struct {
+	Kind  ContentKind
+	Terms []Term // for Seq and Choice
+}
+
+// String renders the production in the textual DTD format.
+func (p Production) String() string {
+	switch p.Kind {
+	case Empty:
+		return "()"
+	case Str:
+		return "#text"
+	case Seq:
+		parts := make([]string, len(p.Terms))
+		for i, t := range p.Terms {
+			parts[i] = t.String()
+		}
+		return strings.Join(parts, ", ")
+	case Choice:
+		parts := make([]string, len(p.Terms))
+		for i, t := range p.Terms {
+			parts[i] = t.String()
+		}
+		return strings.Join(parts, " | ")
+	default:
+		return "?"
+	}
+}
+
+// DTD is a document type definition (Ele, P, r).
+type DTD struct {
+	Name  string
+	Root  string
+	Prods map[string]Production
+	// order preserves declaration order for deterministic printing.
+	order []string
+}
+
+// New creates an empty DTD with the given name and root type. The root type
+// must be declared with Declare before the DTD is used.
+func New(name, root string) *DTD {
+	return &DTD{Name: name, Root: root, Prods: make(map[string]Production)}
+}
+
+// Declare adds (or replaces) the production of an element type.
+func (d *DTD) Declare(typ string, p Production) {
+	if _, ok := d.Prods[typ]; !ok {
+		d.order = append(d.order, typ)
+	}
+	d.Prods[typ] = p
+}
+
+// DeclareSeq declares A → B1, ..., Bn using the "name*" convention for
+// starred terms ("()" for ε is not accepted here; use DeclareEmpty).
+func (d *DTD) DeclareSeq(typ string, terms ...string) {
+	ts := make([]Term, len(terms))
+	for i, s := range terms {
+		if strings.HasSuffix(s, "*") {
+			ts[i] = Term{Type: strings.TrimSuffix(s, "*"), Star: true}
+		} else {
+			ts[i] = Term{Type: s}
+		}
+	}
+	d.Declare(typ, Production{Kind: Seq, Terms: ts})
+}
+
+// DeclareChoice declares A → B1 + ... + Bn.
+func (d *DTD) DeclareChoice(typ string, terms ...string) {
+	ts := make([]Term, len(terms))
+	for i, s := range terms {
+		if strings.HasSuffix(s, "*") {
+			ts[i] = Term{Type: strings.TrimSuffix(s, "*"), Star: true}
+		} else {
+			ts[i] = Term{Type: s}
+		}
+	}
+	d.Declare(typ, Production{Kind: Choice, Terms: ts})
+}
+
+// DeclareStr declares A → str.
+func (d *DTD) DeclareStr(typ string) { d.Declare(typ, Production{Kind: Str}) }
+
+// DeclareEmpty declares A → ε.
+func (d *DTD) DeclareEmpty(typ string) { d.Declare(typ, Production{Kind: Empty}) }
+
+// Types returns all declared element types in declaration order.
+func (d *DTD) Types() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// HasType reports whether typ is declared.
+func (d *DTD) HasType(typ string) bool {
+	_, ok := d.Prods[typ]
+	return ok
+}
+
+// ChildTypes returns the distinct child element types of typ, in production
+// order. It is the edge relation of the DTD graph.
+func (d *DTD) ChildTypes(typ string) []string {
+	p, ok := d.Prods[typ]
+	if !ok {
+		return nil
+	}
+	seen := make(map[string]bool, len(p.Terms))
+	var out []string
+	for _, t := range p.Terms {
+		if !seen[t.Type] {
+			seen[t.Type] = true
+			out = append(out, t.Type)
+		}
+	}
+	return out
+}
+
+// Edges returns every (parent, child) edge of the DTD graph, ordered by
+// declaration order then production order.
+func (d *DTD) Edges() [][2]string {
+	var out [][2]string
+	for _, a := range d.order {
+		for _, b := range d.ChildTypes(a) {
+			out = append(out, [2]string{a, b})
+		}
+	}
+	return out
+}
+
+// Validate checks the DTD itself for well-formedness: the root and every
+// referenced child type must be declared, and Choice productions must have
+// at least two alternatives.
+func (d *DTD) Validate() error {
+	if d.Root == "" {
+		return fmt.Errorf("dtd %q: no root type", d.Name)
+	}
+	if !d.HasType(d.Root) {
+		return fmt.Errorf("dtd %q: root type %q is not declared", d.Name, d.Root)
+	}
+	for _, a := range d.order {
+		p := d.Prods[a]
+		if p.Kind == Choice && len(p.Terms) < 2 {
+			return fmt.Errorf("dtd %q: type %q: choice production needs at least 2 alternatives", d.Name, a)
+		}
+		if (p.Kind == Seq || p.Kind == Choice) && len(p.Terms) == 0 {
+			return fmt.Errorf("dtd %q: type %q: empty %s production (use ())", d.Name, a, p.Kind)
+		}
+		for _, t := range p.Terms {
+			if !d.HasType(t.Type) {
+				return fmt.Errorf("dtd %q: type %q references undeclared type %q", d.Name, a, t.Type)
+			}
+		}
+		// Document validation matches sequences greedily, so a starred
+		// term must not be followed by another term of the same type with
+		// only nullable (starred) terms in between: the star would consume
+		// the children the later term needs (B*, C*, B rejects the legal
+		// document <B/> under greedy matching). A required term of a
+		// different type in between delimits the star, so B*, C, B stays
+		// legal.
+		if p.Kind == Seq {
+			for i := 0; i < len(p.Terms); i++ {
+				if !p.Terms[i].Star {
+					continue
+				}
+				for j := i + 1; j < len(p.Terms); j++ {
+					if p.Terms[j].Type == p.Terms[i].Type {
+						return fmt.Errorf("dtd %q: type %q: ambiguous sequence %q (starred %s followed by another %s term with only optional terms in between)",
+							d.Name, a, p, p.Terms[i].Type, p.Terms[i].Type)
+					}
+					if !p.Terms[j].Star {
+						break // a required delimiter of another type
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsRecursive reports whether the DTD graph restricted to types reachable
+// from the root contains a cycle (§2.2: a DTD is recursive iff its graph is
+// cyclic).
+func (d *DTD) IsRecursive() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(d.order))
+	var visit func(string) bool
+	visit = func(a string) bool {
+		color[a] = grey
+		for _, b := range d.ChildTypes(a) {
+			switch color[b] {
+			case grey:
+				return true
+			case white:
+				if visit(b) {
+					return true
+				}
+			}
+		}
+		color[a] = black
+		return false
+	}
+	if !d.HasType(d.Root) {
+		return false
+	}
+	return visit(d.Root)
+}
+
+// Reachable returns the set of element types reachable from the root.
+func (d *DTD) Reachable() map[string]bool {
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(a string) {
+		if seen[a] || !d.HasType(a) {
+			return
+		}
+		seen[a] = true
+		for _, b := range d.ChildTypes(a) {
+			visit(b)
+		}
+	}
+	visit(d.Root)
+	return seen
+}
+
+// Labels returns the sorted list of all element types reachable from the
+// root; it is the alphabet ⋃Ele used to desugar ‘//’ into (⋃Ele)*.
+func (d *DTD) Labels() []string {
+	r := d.Reachable()
+	out := make([]string, 0, len(r))
+	for a := range r {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckDocument validates an XML document against the DTD: the root label
+// must be the root type, every element's children must match its
+// production, and text may appear only under Str types.
+func (d *DTD) CheckDocument(doc *xmltree.Document) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if doc.Root == nil {
+		return fmt.Errorf("dtd %q: empty document", d.Name)
+	}
+	if doc.Root.Label != d.Root {
+		return fmt.Errorf("dtd %q: root element is <%s>, want <%s>", d.Name, doc.Root.Label, d.Root)
+	}
+	var check func(n *xmltree.Node) error
+	check = func(n *xmltree.Node) error {
+		p, ok := d.Prods[n.Label]
+		if !ok {
+			return fmt.Errorf("dtd %q: element <%s> at %s has no declared type", d.Name, n.Label, n.Path())
+		}
+		if err := d.checkContent(n, p); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element {
+				if err := check(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return check(doc.Root)
+}
+
+func (d *DTD) checkContent(n *xmltree.Node, p Production) error {
+	switch p.Kind {
+	case Empty:
+		if len(n.Children) != 0 {
+			return fmt.Errorf("dtd %q: <%s> at %s must be empty", d.Name, n.Label, n.Path())
+		}
+		return nil
+	case Str:
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Element {
+				return fmt.Errorf("dtd %q: <%s> at %s is PCDATA-only but has element child <%s>", d.Name, n.Label, n.Path(), c.Label)
+			}
+		}
+		return nil
+	case Choice:
+		kids := n.ElementChildren()
+		if len(kids) != 1 {
+			return fmt.Errorf("dtd %q: <%s> at %s must have exactly one child (choice %s), has %d", d.Name, n.Label, n.Path(), p, len(kids))
+		}
+		for _, t := range p.Terms {
+			if t.Type == kids[0].Label {
+				return nil
+			}
+		}
+		return fmt.Errorf("dtd %q: <%s> at %s: child <%s> not among choice %s", d.Name, n.Label, n.Path(), kids[0].Label, p)
+	case Seq:
+		kids := n.ElementChildren()
+		if hasTextChild(n) {
+			return fmt.Errorf("dtd %q: <%s> at %s must not contain text", d.Name, n.Label, n.Path())
+		}
+		i := 0
+		for _, t := range p.Terms {
+			if t.Star {
+				for i < len(kids) && kids[i].Label == t.Type {
+					i++
+				}
+				continue
+			}
+			if i >= len(kids) || kids[i].Label != t.Type {
+				got := "nothing"
+				if i < len(kids) {
+					got = "<" + kids[i].Label + ">"
+				}
+				return fmt.Errorf("dtd %q: <%s> at %s: expected <%s> per production %q, got %s", d.Name, n.Label, n.Path(), t.Type, p, got)
+			}
+			i++
+		}
+		if i != len(kids) {
+			return fmt.Errorf("dtd %q: <%s> at %s: unexpected trailing child <%s>", d.Name, n.Label, n.Path(), kids[i].Label)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dtd %q: <%s>: unknown production kind", d.Name, n.Label)
+	}
+}
+
+func hasTextChild(n *xmltree.Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the DTD in the textual format accepted by Parse.
+func (d *DTD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dtd %s {\n", d.Name)
+	fmt.Fprintf(&b, "  root %s;\n", d.Root)
+	for _, a := range d.order {
+		fmt.Fprintf(&b, "  %s -> %s;\n", a, d.Prods[a])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"smoqe/internal/xmltree"
+)
+
+const hospitalSrc = `
+dtd hospital {
+  root hospital;
+  // Fig. 1(a) of the paper.
+  hospital   -> department*;
+  department -> name, patient*;
+  patient    -> pname, address, parent*, sibling*, visit*;
+  address    -> street, city, zip;
+  parent     -> patient;
+  sibling    -> patient;
+  visit      -> date, treatment, doctor;
+  treatment  -> test | medication;
+  test       -> type;
+  medication -> type, diagnosis;
+  doctor     -> dname, specialty;
+  name -> #text; pname -> #text; street -> #text; city -> #text;
+  zip -> #text; date -> #text; type -> #text; diagnosis -> #text;
+  dname -> #text; specialty -> #text;
+}
+`
+
+func mustHospital(t *testing.T) *DTD {
+	t.Helper()
+	d, err := Parse(hospitalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseHospital(t *testing.T) {
+	d := mustHospital(t)
+	if d.Name != "hospital" || d.Root != "hospital" {
+		t.Fatalf("name/root = %q/%q", d.Name, d.Root)
+	}
+	if got := len(d.Types()); got != 21 {
+		t.Errorf("types = %d, want 21", got)
+	}
+	p := d.Prods["treatment"]
+	if p.Kind != Choice || len(p.Terms) != 2 {
+		t.Errorf("treatment production = %+v", p)
+	}
+	if !d.IsRecursive() {
+		t.Error("hospital DTD must be recursive (patient → parent → patient)")
+	}
+	if got := d.ChildTypes("patient"); strings.Join(got, ",") != "pname,address,parent,sibling,visit" {
+		t.Errorf("ChildTypes(patient) = %v", got)
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	d := mustHospital(t)
+	d2, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, d.String())
+	}
+	if d.String() != d2.String() {
+		t.Errorf("round trip changed DTD:\n%s\nvs\n%s", d.String(), d2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing dtd keyword":  `hospital { root a; a -> (); }`,
+		"missing root":         `dtd x { a -> (); }`,
+		"missing semicolon":    `dtd x { root a; a -> () }`,
+		"mixed separators":     `dtd x { root a; a -> b, c | d; b -> (); c -> (); d -> (); }`,
+		"undeclared child":     `dtd x { root a; a -> b; }`,
+		"undeclared root":      `dtd x { root a; b -> (); }`,
+		"duplicate type":       `dtd x { root a; a -> (); a -> #text; }`,
+		"trailing input":       `dtd x { root a; a -> (); } extra`,
+		"ambiguous star seq":   `dtd x { root a; a -> b*, b; b -> (); }`,
+		"ambiguous star gap":   `dtd x { root a; a -> b*, c*, b; b -> (); c -> (); }`,
+		"single choice branch": `dtd x { root a; a -> b | ; b -> (); }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	nonrec := MustParse(`dtd x { root a; a -> b*; b -> c; c -> #text; }`)
+	if nonrec.IsRecursive() {
+		t.Error("acyclic DTD reported recursive")
+	}
+	selfrec := MustParse(`dtd x { root a; a -> a*; }`)
+	if !selfrec.IsRecursive() {
+		t.Error("self-recursive DTD not detected")
+	}
+	// A cycle not reachable from the root does not make the DTD recursive.
+	unreach := MustParse(`dtd x { root a; a -> #text; b -> b*; }`)
+	if unreach.IsRecursive() {
+		t.Error("unreachable cycle should not count")
+	}
+}
+
+func TestLabelsAndReachable(t *testing.T) {
+	d := MustParse(`dtd x { root a; a -> b*; b -> c; c -> #text; zzz -> (); }`)
+	labels := d.Labels()
+	if strings.Join(labels, ",") != "a,b,c" {
+		t.Errorf("Labels = %v", labels)
+	}
+	if d.Reachable()["zzz"] {
+		t.Error("zzz should be unreachable")
+	}
+}
+
+func TestEdges(t *testing.T) {
+	d := MustParse(`dtd x { root a; a -> b, c*; b -> c; c -> #text; }`)
+	edges := d.Edges()
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestCheckDocument(t *testing.T) {
+	d := MustParse(`
+dtd x {
+  root a;
+  a -> b, c*;
+  b -> #text;
+  c -> d | e;
+  d -> ();
+  e -> #text;
+}`)
+	ok := []string{
+		`<a><b>t</b></a>`,
+		`<a><b/><c><d/></c><c><e>x</e></c></a>`,
+	}
+	for _, s := range ok {
+		doc, err := xmltree.ParseString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckDocument(doc); err != nil {
+			t.Errorf("CheckDocument(%s): unexpected error %v", s, err)
+		}
+	}
+	bad := []string{
+		`<z/>`,                           // wrong root
+		`<a/>`,                           // missing b
+		`<a><b/><b/></a>`,                // duplicate b
+		`<a><b/><c/></a>`,                // choice with no child
+		`<a><b/><c><d/><e>x</e></c></a>`, // choice with two children
+		`<a><b/><c><z/></c></a>`,         // child not in choice
+		`<a><b/>stray</a>`,               // text under Seq
+		`<a><b/><c><d>t</d></c></a>`,     // text under Empty... d -> () with text
+		`<a><b><z/></b></a>`,             // element under Str
+	}
+	for _, s := range bad {
+		doc, err := xmltree.ParseString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckDocument(doc); err == nil {
+			t.Errorf("CheckDocument(%s): want error, got nil", s)
+		}
+	}
+}
+
+func TestCheckDocumentHospital(t *testing.T) {
+	d := mustHospital(t)
+	doc, err := xmltree.ParseString(`
+<hospital>
+ <department>
+  <name>cardiology</name>
+  <patient>
+   <pname>Alice</pname>
+   <address><street>s</street><city>c</city><zip>z</zip></address>
+   <parent>
+    <patient>
+     <pname>Bob</pname>
+     <address><street>s</street><city>c</city><zip>z</zip></address>
+    </patient>
+   </parent>
+   <visit>
+    <date>2007-01-01</date>
+    <treatment><medication><type>statin</type><diagnosis>heart disease</diagnosis></medication></treatment>
+    <doctor><dname>Dr</dname><specialty>cardio</specialty></doctor>
+   </visit>
+  </patient>
+ </department>
+</hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckDocument(doc); err != nil {
+		t.Errorf("valid hospital document rejected: %v", err)
+	}
+}
+
+func TestProductionString(t *testing.T) {
+	cases := map[string]Production{
+		"()":     {Kind: Empty},
+		"#text":  {Kind: Str},
+		"a, b*":  {Kind: Seq, Terms: []Term{{Type: "a"}, {Type: "b", Star: true}}},
+		"a | b":  {Kind: Choice, Terms: []Term{{Type: "a"}, {Type: "b"}}},
+		"a* | b": {Kind: Choice, Terms: []Term{{Type: "a", Star: true}, {Type: "b"}}},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDeclareHelpers(t *testing.T) {
+	d := New("t", "a")
+	d.DeclareSeq("a", "b*", "c")
+	d.DeclareChoice("c", "b", "e")
+	d.DeclareStr("b")
+	d.DeclareEmpty("e")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Prods["a"].Terms[0].Star || d.Prods["a"].Terms[1].Star {
+		t.Errorf("star parsing in DeclareSeq wrong: %+v", d.Prods["a"])
+	}
+	if d.Prods["c"].Kind != Choice {
+		t.Errorf("DeclareChoice kind = %v", d.Prods["c"].Kind)
+	}
+}
+
+func TestStarWithRequiredDelimiterIsLegal(t *testing.T) {
+	// a*, b, a is unambiguous under greedy matching: the required b
+	// delimits the star.
+	d := MustParse(`dtd x { root a; a -> c*, b, c; b -> (); c -> (); }`)
+	doc, err := xmltree.ParseString(`<a><c/><c/><b/><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckDocument(doc); err != nil {
+		t.Errorf("legal document rejected: %v", err)
+	}
+	doc2, err := xmltree.ParseString(`<a><b/><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckDocument(doc2); err != nil {
+		t.Errorf("zero-star document rejected: %v", err)
+	}
+}

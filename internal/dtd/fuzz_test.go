@@ -1,0 +1,34 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks that the DTD parser never panics and that accepted DTDs
+// survive the print→parse→print fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"dtd x { root a; a -> (); }",
+		"dtd h { root h; h -> d*; d -> n, p*; n -> #text; p -> #text; }",
+		"dtd c { root a; a -> b | c; b -> (); c -> #text; }",
+		"dtd", "dtd x {", "dtd x { root a; a -> ; }",
+		"dtd x { root a; a -> b, | c; }",
+		"// comment only",
+		"dtd \xff { root a; a -> (); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := d.String()
+		d2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print:\n%s\n%v", src, s1, err)
+		}
+		if s2 := d2.String(); s2 != s1 {
+			t.Fatalf("printer not a fixpoint:\n%s\nvs\n%s", s1, s2)
+		}
+	})
+}

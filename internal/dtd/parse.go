@@ -1,0 +1,198 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a DTD from the textual format produced by (*DTD).String:
+//
+//	dtd hospital {
+//	  root hospital;
+//	  hospital   -> department*;
+//	  department -> name, patient*;
+//	  treatment  -> test | medication;
+//	  name       -> #text;
+//	  empty      -> ();
+//	}
+//
+// "//" starts a line comment. Declaration order is preserved.
+func Parse(src string) (*DTD, error) {
+	p := &dtdParser{src: src, line: 1}
+	d, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("dtd: line %d: %w", p.line, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is Parse but panics on error; intended for package-level
+// fixtures of known-good DTDs.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type dtdParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *dtdParser) parse() (*DTD, error) {
+	if !p.eatWord("dtd") {
+		return nil, fmt.Errorf(`expected keyword "dtd"`)
+	}
+	name, ok := p.ident()
+	if !ok {
+		return nil, fmt.Errorf("expected DTD name")
+	}
+	if !p.eatTok("{") {
+		return nil, fmt.Errorf(`expected "{"`)
+	}
+	if !p.eatWord("root") {
+		return nil, fmt.Errorf(`expected "root" declaration first`)
+	}
+	root, ok := p.ident()
+	if !ok {
+		return nil, fmt.Errorf("expected root type name")
+	}
+	if !p.eatTok(";") {
+		return nil, fmt.Errorf(`expected ";" after root declaration`)
+	}
+	d := New(name, root)
+	for {
+		if p.eatTok("}") {
+			break
+		}
+		typ, ok := p.ident()
+		if !ok {
+			return nil, fmt.Errorf("expected element type name or \"}\"")
+		}
+		if !p.eatTok("->") {
+			return nil, fmt.Errorf("expected \"->\" after type %q", typ)
+		}
+		prod, err := p.production()
+		if err != nil {
+			return nil, fmt.Errorf("type %q: %w", typ, err)
+		}
+		if !p.eatTok(";") {
+			return nil, fmt.Errorf(`expected ";" after production of %q`, typ)
+		}
+		if d.HasType(typ) {
+			return nil, fmt.Errorf("type %q declared twice", typ)
+		}
+		d.Declare(typ, prod)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input after \"}\"")
+	}
+	return d, nil
+}
+
+func (p *dtdParser) production() (Production, error) {
+	if p.eatTok("()") {
+		return Production{Kind: Empty}, nil
+	}
+	if p.eatWord("#text") {
+		return Production{Kind: Str}, nil
+	}
+	var terms []Term
+	var sep string // "," for Seq, "|" for Choice
+	for {
+		name, ok := p.ident()
+		if !ok {
+			return Production{}, fmt.Errorf("expected child type name")
+		}
+		t := Term{Type: name}
+		if p.eatTok("*") {
+			t.Star = true
+		}
+		terms = append(terms, t)
+		switch {
+		case p.eatTok(","):
+			if sep == "|" {
+				return Production{}, fmt.Errorf(`cannot mix "," and "|" in one production`)
+			}
+			sep = ","
+		case p.eatTok("|"):
+			if sep == "," {
+				return Production{}, fmt.Errorf(`cannot mix "," and "|" in one production`)
+			}
+			sep = "|"
+		default:
+			if sep == "|" {
+				return Production{Kind: Choice, Terms: terms}, nil
+			}
+			return Production{Kind: Seq, Terms: terms}, nil
+		}
+	}
+}
+
+func (p *dtdParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// eatTok consumes the literal token tok if it comes next.
+func (p *dtdParser) eatTok(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// eatWord consumes word only if it is followed by a non-identifier
+// character, so "root" does not match the prefix of "rooted".
+func (p *dtdParser) eatWord(word string) bool {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, word) {
+		return false
+	}
+	if len(rest) > len(word) && isIdentChar(rune(rest[len(word)])) {
+		return false
+	}
+	p.pos += len(word)
+	return true
+}
+
+func (p *dtdParser) ident() (string, bool) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,153 @@
+// Package hospital provides the paper's running example as ready-made
+// fixtures: the document DTD of Fig. 1(a), the view DTD of Fig. 1(b), the
+// view specification σ0 of Fig. 1(c), the queries of Examples 1.1, 2.1 and
+// 4.1, and the six workload queries used to regenerate the evaluation
+// figures (§7).
+package hospital
+
+import (
+	"smoqe/internal/dtd"
+	"smoqe/internal/view"
+	"smoqe/internal/xpath"
+)
+
+// DocDTDSource is the textual form of the document DTD D of Fig. 1(a).
+// The hospital stores departments of in-patients; each patient carries
+// name, address, visits (with date, a treatment that is either a test or a
+// medication with a diagnosis, and the treating doctor) and the recursive
+// family history via parent and sibling, which share the patient type.
+const DocDTDSource = `
+dtd hospital {
+  root hospital;
+  hospital   -> department*;
+  department -> name, patient*;
+  patient    -> pname, address, parent*, sibling*, visit*;
+  address    -> street, city, zip;
+  parent     -> patient;
+  sibling    -> patient;
+  visit      -> date, treatment, doctor;
+  treatment  -> test | medication;
+  test       -> type;
+  medication -> type, diagnosis;
+  doctor     -> dname, specialty;
+  name -> #text;  pname -> #text;  street -> #text;  city -> #text;
+  zip -> #text;   date -> #text;   type -> #text;    diagnosis -> #text;
+  dname -> #text; specialty -> #text;
+}
+`
+
+// ViewDTDSource is the textual form of the view DTD D_V of Fig. 1(b): only
+// heart-disease patients, their parent hierarchy and their (anonymized)
+// records are exposed; names, addresses, tests, doctors and siblings are
+// hidden.
+const ViewDTDSource = `
+dtd hospitalview {
+  root hospital;
+  hospital -> patient*;
+  patient  -> parent*, record*;
+  parent   -> patient;
+  record   -> empty | diagnosis;
+  empty    -> ();
+  diagnosis -> #text;
+}
+`
+
+// Sigma0Source is the view specification σ0 of Fig. 1(c), written in the
+// textual view format (queries Q1–Q6 of the paper).
+const Sigma0Source = `
+view sigma0 {
+  # Q1: only patients currently diagnosed with heart disease.
+  hospital/patient = department/patient[visit/treatment/medication/diagnosis/text()='heart disease'];
+  # Q2, Q3: the parent hierarchy and the visit records.
+  patient/parent = parent;
+  patient/record = visit;
+  # Q4: recursion through the family history.
+  parent/patient = patient;
+  # Q5, Q6: a record is empty for tests, or exposes the diagnosis.
+  record/empty = treatment/test;
+  record/diagnosis = treatment/medication/diagnosis;
+}
+`
+
+// DocDTD returns the document DTD D (a fresh copy each call).
+func DocDTD() *dtd.DTD { return dtd.MustParse(DocDTDSource) }
+
+// ViewDTD returns the view DTD D_V (a fresh copy each call).
+func ViewDTD() *dtd.DTD { return dtd.MustParse(ViewDTDSource) }
+
+// Sigma0 returns the view σ0 : D → D_V.
+func Sigma0() *view.View { return view.MustParse(Sigma0Source, DocDTD(), ViewDTD()) }
+
+// Example queries from the paper, all over the *view* DTD.
+const (
+	// QExample11 is the query Q of Example 1.1: patients (in the view)
+	// whose ancestors also had heart disease. It is in the XPath fragment
+	// X, yet has no X rewriting over the source (Theorem 3.1).
+	QExample11 = "patient[*//record/diagnosis/text()='heart disease']"
+
+	// QExample41 is Q0 of Example 4.1, the query behind Fig. 3 and the
+	// HyPE walkthrough of Fig. 7.
+	QExample41 = "(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']"
+)
+
+// QExample21 is the query of Example 2.1 over the *document* DTD: patients
+// whose ancestors had heart disease skipping exactly every other
+// generation. It is regular XPath but not XPath.
+const QExample21 = "department/patient[" + qHeart + " and (" + qSkip + "/(" + qSkip + ")*)]/pname"
+
+const (
+	qHeart = "visit/treatment/medication/diagnosis/text()='heart disease'"
+	qSkip  = "parent/patient[not(" + qHeart + ")]/parent/patient[" + qHeart + "]"
+)
+
+// Workload queries for the experiment harness (§7). The paper describes
+// the query types but not their exact text; these instances follow the
+// descriptions and the hospital schema. All are over the document DTD.
+const (
+	// XPA — Fig. 8(a): an XPath query whose filter returns a large set of
+	// nodes (every patient with any visit), result in the thousands.
+	XPA = "department/patient[visit]/pname"
+
+	// XPB — Fig. 8(b): filter conjunctions; selective text test plus a
+	// structural condition.
+	XPB = "department/patient[visit/treatment/medication/diagnosis/text()='heart disease' and parent/patient]/pname"
+
+	// XPC — Fig. 8(c): filter disjunctions across the treatment choice.
+	XPC = "department/patient[visit/treatment/test or visit/treatment/medication/diagnosis/text()='flu']/pname"
+
+	// RXA — Fig. 9(a): Kleene star outside the filter (walk the ancestor
+	// chain, then test each ancestor).
+	RXA = "department/patient/(parent/patient)*[visit/treatment/medication/diagnosis/text()='heart disease']/pname"
+
+	// RXB — Fig. 9(b): filter inside the Kleene star (only walk through
+	// ancestors that had some medication).
+	RXB = "department/patient/(parent/patient[visit/treatment/medication])*/pname"
+
+	// RXC — Fig. 9(c): Kleene star inside the filter (the ancestor test of
+	// Example 4.1, over the source schema).
+	RXC = "department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='heart disease']/pname"
+)
+
+// XPathQueries returns the Fig. 8 workload (name → query) in order.
+func XPathQueries() []NamedQuery {
+	return []NamedQuery{
+		{"XP-A", xpath.MustParse(XPA)},
+		{"XP-B", xpath.MustParse(XPB)},
+		{"XP-C", xpath.MustParse(XPC)},
+	}
+}
+
+// RegularXPathQueries returns the Fig. 9 workload in order.
+func RegularXPathQueries() []NamedQuery {
+	return []NamedQuery{
+		{"RX-A", xpath.MustParse(RXA)},
+		{"RX-B", xpath.MustParse(RXB)},
+		{"RX-C", xpath.MustParse(RXC)},
+	}
+}
+
+// NamedQuery pairs a workload query with its experiment name.
+type NamedQuery struct {
+	Name  string
+	Query xpath.Path
+}

@@ -1,0 +1,84 @@
+package hospital_test
+
+import (
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/refeval"
+	"smoqe/internal/xpath"
+)
+
+func TestFixturesParse(t *testing.T) {
+	d := hospital.DocDTD()
+	if !d.IsRecursive() {
+		t.Error("document DTD must be recursive")
+	}
+	dv := hospital.ViewDTD()
+	if !dv.IsRecursive() {
+		t.Error("view DTD must be recursive")
+	}
+	v := hospital.Sigma0()
+	if err := v.Check(); err != nil {
+		t.Errorf("σ0 invalid: %v", err)
+	}
+	if v.Source.Name != "hospital" || v.Target.Name != "hospitalview" {
+		t.Errorf("σ0 DTD names: %q, %q", v.Source.Name, v.Target.Name)
+	}
+}
+
+func TestSampleDocumentShape(t *testing.T) {
+	doc := hospital.SampleDocument()
+	st := doc.ComputeStats()
+	if st.LabelCounts["patient"] != 7 {
+		t.Errorf("sample has %d patient elements, want 7", st.LabelCounts["patient"])
+	}
+	if st.LabelCounts["sibling"] != 1 {
+		t.Errorf("sample needs exactly one sibling (the Example 1.1 leak), has %d", st.LabelCounts["sibling"])
+	}
+	// Alice's inherited pattern: exactly one patient has both heart
+	// disease and a heart-disease ancestor.
+	q := xpath.MustParse("department/patient[visit/treatment/medication/diagnosis/text()='heart disease']" +
+		"[parent/patient/(parent/patient)*[visit/treatment/medication/diagnosis/text()='heart disease']]")
+	if got := refeval.Eval(q, doc.Root); len(got) != 1 {
+		t.Errorf("inherited-pattern patients = %d, want 1 (Alice)", len(got))
+	}
+}
+
+func TestWorkloadQueriesParseAndType(t *testing.T) {
+	for _, nq := range hospital.XPathQueries() {
+		if !xpath.InFragmentX(nq.Query) {
+			t.Errorf("%s must be in the XPath fragment X", nq.Name)
+		}
+	}
+	for _, nq := range hospital.RegularXPathQueries() {
+		if xpath.InFragmentX(nq.Query) {
+			t.Errorf("%s must need general Kleene star", nq.Name)
+		}
+	}
+	// Example queries.
+	if q := xpath.MustParse(hospital.QExample11); !xpath.InFragmentX(q) {
+		t.Error("Example 1.1 query is in X")
+	}
+	if q := xpath.MustParse(hospital.QExample21); xpath.InFragmentX(q) {
+		t.Error("Example 2.1 query must not be in X")
+	}
+	if q := xpath.MustParse(hospital.QExample41); xpath.InFragmentX(q) {
+		t.Error("Example 4.1 query must not be in X")
+	}
+}
+
+func TestWorkloadQueriesSelectOnSample(t *testing.T) {
+	doc := hospital.SampleDocument()
+	counts := map[string]int{
+		hospital.XPA: 3, // Alice, Erin, Frank have visits
+		hospital.XPB: 2, // Alice and Erin (heart disease + a parent)
+		hospital.XPC: 1, // Frank (flu); nobody's direct visit is a test among in-patients
+		hospital.RXC: 2, // Alice, Erin
+	}
+	for qsrc, want := range counts {
+		got := refeval.Eval(xpath.MustParse(qsrc), doc.Root)
+		if len(got) != want {
+			t.Errorf("query %q: %d answers, want %d", qsrc, len(got), want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package hospital
+
+import (
+	"fmt"
+
+	"smoqe/internal/xmltree"
+)
+
+// SampleXML is a small handwritten hospital document used by tests and the
+// examples. It exercises every corner the paper's examples need:
+//
+//   - Alice has heart disease and a grandparent chain in which the disease
+//     skips one generation (Bob healthy, Carol heart disease);
+//   - Alice's sibling Dan also had heart disease, but siblings are hidden
+//     by the view σ0 — leaking Dan is exactly the security breach of
+//     Example 1.1;
+//   - Erin has heart disease but a healthy ancestor line;
+//   - Frank has the flu only, so he is absent from the view entirely.
+const SampleXML = `<hospital>
+ <department>
+  <name>cardiology</name>
+  <patient>
+   <pname>Alice</pname>
+   <address><street>1 Elm</street><city>Edinburgh</city><zip>EH1</zip></address>
+   <parent>
+    <patient>
+     <pname>Bob</pname>
+     <address><street>2 Oak</street><city>Glasgow</city><zip>G1</zip></address>
+     <parent>
+      <patient>
+       <pname>Carol</pname>
+       <address><street>3 Ash</street><city>Dundee</city><zip>DD1</zip></address>
+       <visit>
+        <date>1980-05-02</date>
+        <treatment><medication><type>statin</type><diagnosis>heart disease</diagnosis></medication></treatment>
+        <doctor><dname>Dr House</dname><specialty>cardiology</specialty></doctor>
+       </visit>
+      </patient>
+     </parent>
+     <visit>
+      <date>1999-11-20</date>
+      <treatment><test><type>ecg</type></test></treatment>
+      <doctor><dname>Dr Grey</dname><specialty>cardiology</specialty></doctor>
+     </visit>
+    </patient>
+   </parent>
+   <sibling>
+    <patient>
+     <pname>Dan</pname>
+     <address><street>1 Elm</street><city>Edinburgh</city><zip>EH1</zip></address>
+     <visit>
+      <date>2005-03-14</date>
+      <treatment><medication><type>statin</type><diagnosis>heart disease</diagnosis></medication></treatment>
+      <doctor><dname>Dr Who</dname><specialty>cardiology</specialty></doctor>
+     </visit>
+    </patient>
+   </sibling>
+   <visit>
+    <date>2006-07-01</date>
+    <treatment><medication><type>betablocker</type><diagnosis>heart disease</diagnosis></medication></treatment>
+    <doctor><dname>Dr House</dname><specialty>cardiology</specialty></doctor>
+   </visit>
+  </patient>
+  <patient>
+   <pname>Erin</pname>
+   <address><street>4 Fir</street><city>Leith</city><zip>EH6</zip></address>
+   <parent>
+    <patient>
+     <pname>Gus</pname>
+     <address><street>5 Yew</street><city>Stirling</city><zip>FK8</zip></address>
+     <visit>
+      <date>1975-01-30</date>
+      <treatment><test><type>xray</type></test></treatment>
+      <doctor><dname>Dr No</dname><specialty>radiology</specialty></doctor>
+     </visit>
+    </patient>
+   </parent>
+   <visit>
+    <date>2006-09-12</date>
+    <treatment><medication><type>statin</type><diagnosis>heart disease</diagnosis></medication></treatment>
+    <doctor><dname>Dr Strange</dname><specialty>cardiology</specialty></doctor>
+   </visit>
+  </patient>
+ </department>
+ <department>
+  <name>general</name>
+  <patient>
+   <pname>Frank</pname>
+   <address><street>6 Elm</street><city>Perth</city><zip>PH1</zip></address>
+   <visit>
+    <date>2006-12-24</date>
+    <treatment><medication><type>paracetamol</type><diagnosis>flu</diagnosis></medication></treatment>
+    <doctor><dname>Dr Quinn</dname><specialty>general</specialty></doctor>
+   </visit>
+  </patient>
+ </department>
+</hospital>`
+
+// SampleDocument parses SampleXML and checks it against the document DTD.
+func SampleDocument() *xmltree.Document {
+	doc, err := xmltree.ParseString(SampleXML)
+	if err != nil {
+		panic(fmt.Sprintf("hospital: sample document does not parse: %v", err))
+	}
+	if err := DocDTD().CheckDocument(doc); err != nil {
+		panic(fmt.Sprintf("hospital: sample document does not conform to DTD: %v", err))
+	}
+	return doc
+}

@@ -1,0 +1,321 @@
+package hype_test
+
+import (
+	"testing"
+
+	"smoqe/internal/datagen"
+	"smoqe/internal/hospital"
+	"smoqe/internal/hype"
+	"smoqe/internal/mfa"
+	"smoqe/internal/refeval"
+	"smoqe/internal/rewrite"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+var sourceQueries = []string{
+	".",
+	"department",
+	"department/patient",
+	"department/patient/pname",
+	"*",
+	"**",
+	"//diagnosis",
+	"//patient",
+	"department/patient[visit]",
+	"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+	"department/patient[not(visit)]",
+	"department/patient[visit and parent]",
+	"department/patient[visit or parent]",
+	"department/patient[visit/treatment/test or visit/treatment/medication/diagnosis/text()='flu']",
+	"department/patient/(parent/patient)*",
+	"department/patient/(parent/patient)*[visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+	"department/patient/(parent/patient[visit/treatment/medication])*/pname",
+	"department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+	"department/patient[sibling/patient[visit/treatment/medication/diagnosis/text()='heart disease']]/pname",
+	"department/patient[parent/patient[not(visit)]]",
+	"department/*/street | department/patient/pname",
+	"department/patient[address[city/text()='Edinburgh']]",
+	"department/patient[visit[date/text()='2006-07-01']][visit/treatment/medication]",
+	"department/patient[visit/position()=1]",
+	hospital.QExample21,
+	hospital.XPA, hospital.XPB, hospital.XPC,
+	hospital.RXA, hospital.RXB, hospital.RXC,
+}
+
+func engines(t *testing.T, m *mfa.MFA, doc *xmltree.Document) map[string]*hype.Engine {
+	t.Helper()
+	return map[string]*hype.Engine{
+		"HyPE":      hype.New(m),
+		"OptHyPE":   hype.NewOpt(m, hype.BuildIndex(doc, false)),
+		"OptHyPE-C": hype.NewOpt(m, hype.BuildIndex(doc, true)),
+	}
+}
+
+func TestHyPEMatchesOraclesOnSample(t *testing.T) {
+	doc := hospital.SampleDocument()
+	for _, src := range sourceQueries {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, doc.Root)
+		m := mfa.MustCompile(q)
+		if got := mfa.Eval(m, doc.Root); !same(got, want) {
+			t.Fatalf("oracle disagreement for %q: mfa %v vs ref %v", src, ids(got), ids(want))
+		}
+		for name, eng := range engines(t, m, doc) {
+			got := eng.Eval(doc.Root)
+			if !same(got, want) {
+				t.Errorf("%s: query %q:\n got %v\nwant %v", name, src, ids(got), ids(want))
+			}
+		}
+	}
+}
+
+func TestHyPEAtInteriorContext(t *testing.T) {
+	doc := hospital.SampleDocument()
+	dep := doc.Root.ElementChildren()[0]
+	for _, src := range []string{"patient", "patient/visit", "patient[visit/treatment/test]", "(patient | patient/parent/patient)/pname"} {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, dep)
+		m := mfa.MustCompile(q)
+		for name, eng := range engines(t, m, doc) {
+			if got := eng.Eval(dep); !same(got, want) {
+				t.Errorf("%s at %s: query %q: got %v want %v", name, dep.Path(), src, ids(got), ids(want))
+			}
+		}
+	}
+}
+
+func TestHyPEOnRewrittenMFAs(t *testing.T) {
+	// HyPE must agree with the naive MFA evaluator on rewritten automata
+	// (which exercise ε-cycles, shared product AFAs and GuardStart).
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	for _, src := range []string{
+		"patient",
+		"patient/record/diagnosis",
+		hospital.QExample11,
+		hospital.QExample41,
+		"patient[not(parent)]",
+		"(patient/parent)*/patient[record/empty]",
+		"patient[*//diagnosis/text()='heart disease']",
+	} {
+		m := rewrite.MustRewrite(v, xpath.MustParse(src))
+		want := mfa.Eval(m, doc.Root)
+		for name, eng := range engines(t, m, doc) {
+			if got := eng.Eval(doc.Root); !same(got, want) {
+				t.Errorf("%s: rewritten %q: got %v want %v", name, src, ids(got), ids(want))
+			}
+		}
+	}
+}
+
+func TestPruningHappens(t *testing.T) {
+	doc := hospital.SampleDocument()
+	total := doc.ComputeStats().Elements
+	// A query that only needs the pname spine should skip visit subtrees.
+	q := xpath.MustParse("department/patient/pname")
+	m := mfa.MustCompile(q)
+
+	h := hype.New(m)
+	h.Eval(doc.Root)
+	base := h.Stats()
+	if base.VisitedElements >= total {
+		t.Errorf("HyPE visited all %d elements; expected pruning", total)
+	}
+	if base.SkippedSubtrees == 0 {
+		t.Error("HyPE skipped nothing")
+	}
+
+	o := hype.NewOpt(m, hype.BuildIndex(doc, false))
+	o.Eval(doc.Root)
+	opt := o.Stats()
+	if opt.VisitedElements > base.VisitedElements {
+		t.Errorf("OptHyPE visited more (%d) than HyPE (%d)", opt.VisitedElements, base.VisitedElements)
+	}
+	if opt.SkippedElements == 0 {
+		t.Error("OptHyPE should report skipped element counts")
+	}
+	// Visited + skipped accounts for every element in the tree.
+	if opt.VisitedElements+opt.SkippedElements != total {
+		t.Errorf("visited %d + skipped %d != total %d", opt.VisitedElements, opt.SkippedElements, total)
+	}
+}
+
+func TestOptHyPEPrunesMore(t *testing.T) {
+	// A selective text filter lets the index skip subtrees whose alphabet
+	// can never satisfy the automaton.
+	doc := hospital.SampleDocument()
+	q := xpath.MustParse("department/patient[parent/patient/parent/patient]/pname")
+	m := mfa.MustCompile(q)
+	h := hype.New(m)
+	h.Eval(doc.Root)
+	o := hype.NewOpt(m, hype.BuildIndex(doc, false))
+	o.Eval(doc.Root)
+	if o.Stats().VisitedElements >= h.Stats().VisitedElements {
+		t.Errorf("OptHyPE visited %d, HyPE %d; index should prune more",
+			o.Stats().VisitedElements, h.Stats().VisitedElements)
+	}
+}
+
+func TestIndexBasics(t *testing.T) {
+	doc := hospital.SampleDocument()
+	plain := hype.BuildIndex(doc, false)
+	comp := hype.BuildIndex(doc, true)
+	if plain.NumLabels() != comp.NumLabels() {
+		t.Fatalf("label universes differ: %d vs %d", plain.NumLabels(), comp.NumLabels())
+	}
+	if comp.DistinctSets() >= plain.DistinctSets() {
+		t.Errorf("compressed index has %d sets, plain %d; compression should dedup",
+			comp.DistinctSets(), plain.DistinctSets())
+	}
+	if comp.MemoryBytes() >= plain.MemoryBytes() {
+		t.Errorf("compressed index uses %d bytes, plain %d", comp.MemoryBytes(), plain.MemoryBytes())
+	}
+	// Strict subtree sets agree between the two variants on every node.
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Element {
+			return true
+		}
+		a, b := plain.StrictLabels(n), comp.StrictLabels(n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("strict sets differ at %s", n.Path())
+			}
+		}
+		if plain.SubtreeSize(n) != comp.SubtreeSize(n) {
+			t.Fatalf("subtree sizes differ at %s", n.Path())
+		}
+		return true
+	})
+	// Root subtree size equals the document's element count.
+	if got, want := plain.SubtreeSize(doc.Root), doc.ComputeStats().Elements; got != want {
+		t.Errorf("root subtree size %d, want %d", got, want)
+	}
+	// Semantics: diagnosis occurs strictly below a patient with visits.
+	dep := doc.Root.ElementChildren()[0]
+	bit, ok := plain.LabelBit("diagnosis")
+	if !ok {
+		t.Fatal("diagnosis not in label universe")
+	}
+	set := plain.StrictLabels(dep)
+	if !set.Has(bit) {
+		t.Error("diagnosis must be in department's strict subtree set")
+	}
+	if _, ok := plain.LabelBit("nonexistent"); ok {
+		t.Error("unknown label must not be in the universe")
+	}
+}
+
+func TestCansStatsPopulated(t *testing.T) {
+	doc := hospital.SampleDocument()
+	m := mfa.MustCompile(xpath.MustParse("department/patient[visit]/pname"))
+	h := hype.New(m)
+	h.Eval(doc.Root)
+	st := h.Stats()
+	if st.CansVertices == 0 || st.CansEdges == 0 {
+		t.Errorf("cans stats empty: %+v", st)
+	}
+	if st.AFAEvaluations == 0 {
+		t.Errorf("AFA evaluations not counted: %+v", st)
+	}
+	// cans must be (much) smaller than |T|×|M| and in this case smaller
+	// than the visited node count times states.
+	if st.CansVertices > st.VisitedElements*m.NumStates() {
+		t.Errorf("cans larger than product bound: %+v", st)
+	}
+}
+
+func TestEmptyResultQueries(t *testing.T) {
+	doc := hospital.SampleDocument()
+	for _, src := range []string{
+		"nosuchlabel",
+		"department/nosuch/pname",
+		"department/patient[visit/treatment/medication/diagnosis/text()='no such disease']",
+	} {
+		m := mfa.MustCompile(xpath.MustParse(src))
+		for name, eng := range engines(t, m, doc) {
+			if got := eng.Eval(doc.Root); len(got) != 0 {
+				t.Errorf("%s: %q must be empty, got %v", name, src, ids(got))
+			}
+		}
+	}
+}
+
+func same(a, b []*xmltree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ids(ns []*xmltree.Node) []int { return xmltree.IDsOf(ns) }
+
+// TestHyPELinearity asserts Theorem 6.1's linear data complexity through a
+// deterministic proxy: the number of visited elements and cans vertices
+// must grow (at most) linearly when the document doubles.
+func TestHyPELinearity(t *testing.T) {
+	q := xpath.MustParse(hospital.RXC)
+	m := mfa.MustCompile(q)
+	visited := func(patients int) (int, int) {
+		doc := datagen.Generate(datagen.DefaultConfig(patients))
+		e := hype.New(m)
+		e.Eval(doc.Root)
+		return e.Stats().VisitedElements, e.Stats().CansVertices
+	}
+	v1, c1 := visited(500)
+	v2, c2 := visited(1000)
+	v4, c4 := visited(2000)
+	for _, r := range []struct {
+		name   string
+		lo, hi int
+	}{
+		{"visited x2", v2 * 10 / v1, 0},
+		{"visited x4", v4 * 10 / v2, 0},
+		{"cans x2", c2 * 10 / c1, 0},
+		{"cans x4", c4 * 10 / c2, 0},
+	} {
+		// Each doubling must stay within [1.5x, 2.5x] — linear growth.
+		if r.lo < 15 || r.lo > 25 {
+			t.Errorf("%s: growth factor %.1f, want ≈2 (v=%d/%d/%d c=%d/%d/%d)",
+				r.name, float64(r.lo)/10, v1, v2, v4, c1, c2, c4)
+		}
+	}
+}
+
+// TestTextBloomPruning: the text fingerprint lets OptHyPE skip subtrees
+// that cannot contain a required text()='c' constant — the lever behind
+// the paper's 88% OptHyPE pruning average.
+func TestTextBloomPruning(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(300))
+	total := doc.ComputeStats().Elements
+	q := xpath.MustParse(hospital.RXC) // needs text()='heart disease'
+	m := mfa.MustCompile(q)
+
+	h := hype.New(m)
+	want := h.Eval(doc.Root)
+	o := hype.NewOpt(m, hype.BuildIndex(doc, false))
+	got := o.Eval(doc.Root)
+	if len(got) != len(want) {
+		t.Fatalf("answers differ: %d vs %d", len(got), len(want))
+	}
+	hv, ov := h.Stats().VisitedElements, o.Stats().VisitedElements
+	if ov >= hv*3/4 {
+		t.Errorf("text bloom should cut visits substantially: HyPE %d, OptHyPE %d (total %d)",
+			hv, ov, total)
+	}
+	// A query whose constant appears nowhere prunes almost everything.
+	q2 := mfa.MustCompile(xpath.MustParse(
+		"department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='no such disease']/pname"))
+	o2 := hype.NewOpt(q2, hype.BuildIndex(doc, false))
+	if got := o2.Eval(doc.Root); len(got) != 0 {
+		t.Fatalf("phantom disease matched %d", len(got))
+	}
+	if v := o2.Stats().VisitedElements; v > total/10 {
+		t.Errorf("impossible constant should prune nearly everything: visited %d of %d", v, total)
+	}
+}

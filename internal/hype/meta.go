@@ -1,0 +1,308 @@
+package hype
+
+import (
+	"math/bits"
+
+	"smoqe/internal/mfa"
+	"smoqe/internal/xmltree"
+)
+
+// prepareIndexMeta computes, against the index's label universe, the label
+// sets each automaton state may consume next. Together with each node's
+// strict-subtree label set this drives OptHyPE's extra pruning: a child is
+// skipped when no active state can possibly accept inside its subtree.
+func (e *Engine) prepareIndexMeta() {
+	ix := e.idx
+	words := ix.words
+	// AFA side: next[t] = labels of TRANS states in the same-node closure
+	// of t. Computed by fixpoint over the (possibly cyclic) same-node
+	// graph; label sets grow monotonically.
+	e.afaNext = make([][]LabelSet, len(e.m.AFAs))
+	e.afaWild = make([][]bool, len(e.m.AFAs))
+	for g, a := range e.m.AFAs {
+		n := a.NumStates()
+		next := make([]LabelSet, n)
+		wild := make([]bool, n)
+		for t := 0; t < n; t++ {
+			next[t] = make(LabelSet, words)
+			st := &a.States[t]
+			if st.Kind == mfa.AFATrans {
+				if st.Wild {
+					wild[t] = true
+				} else if bit, ok := ix.LabelBit(st.Label); ok {
+					next[t].set(bit)
+				}
+			}
+		}
+		meta := &e.afaClosure[g]
+		for changed := true; changed; {
+			changed = false
+			for t := 0; t < n; t++ {
+				for _, k := range meta.sameKids[t] {
+					if wild[k] && !wild[t] {
+						wild[t] = true
+						changed = true
+					}
+					for w := range next[t] {
+						nw := next[t][w] | next[k][w]
+						if nw != next[t][w] {
+							next[t][w] = nw
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		e.afaNext[g] = next
+		e.afaWild[g] = wild
+	}
+
+	// Text analysis: which states can only become true through specific
+	// text constants (full-graph reachability to FINAL/NOT states).
+	e.afaAlways = make([][]bool, len(e.m.AFAs))
+	e.afaTextMasks = make([][][]uint64, len(e.m.AFAs))
+	for g, a := range e.m.AFAs {
+		n := a.NumStates()
+		always := make([]bool, n)
+		masks := make([][]uint64, n)
+		for t := 0; t < n; t++ {
+			st := &a.States[t]
+			switch st.Kind {
+			case mfa.AFANot:
+				always[t] = true
+			case mfa.AFAFinal:
+				// text()='' holds at any node without text children, so
+				// only nonempty constants can be refuted by the bloom.
+				if st.Pred.Kind == mfa.PredText && st.Pred.Text != "" {
+					masks[t] = []uint64{TextMask(st.Pred.Text)}
+				} else {
+					always[t] = true
+				}
+			}
+		}
+		const maskCap = 8
+		for changed := true; changed; {
+			changed = false
+			for t := 0; t < n; t++ {
+				if always[t] {
+					continue
+				}
+				for _, k := range a.States[t].Kids {
+					if always[k] {
+						always[t] = true
+						changed = true
+						break
+					}
+					for _, mk := range masks[k] {
+						found := false
+						for _, have := range masks[t] {
+							if have == mk {
+								found = true
+								break
+							}
+						}
+						if !found {
+							masks[t] = append(masks[t], mk)
+							changed = true
+						}
+					}
+				}
+				if len(masks[t]) > maskCap {
+					// Too many alternatives to track; give up on text
+					// pruning for this state (conservative).
+					always[t] = true
+					masks[t] = nil
+					changed = true
+				}
+			}
+		}
+		e.afaAlways[g] = always
+		e.afaTextMasks[g] = masks
+	}
+
+	// Union of all consumable labels, for the useful() fast path.
+	e.usedLabels = make(LabelSet, words)
+	for i := range e.m.States {
+		for _, tr := range e.m.States[i].Trans {
+			if tr.Wild {
+				continue
+			}
+			if bit, ok := ix.LabelBit(tr.Label); ok {
+				e.usedLabels.set(bit)
+			}
+		}
+	}
+	for _, a := range e.m.AFAs {
+		for t := range a.States {
+			st := &a.States[t]
+			if st.Kind != mfa.AFATrans || st.Wild {
+				continue
+			}
+			if bit, ok := ix.LabelBit(st.Label); ok {
+				e.usedLabels.set(bit)
+			}
+		}
+	}
+	if ix.compressed {
+		e.aliveCache = make([]*aliveInfo, ix.DistinctSets())
+	}
+}
+
+// aliveInfo is the per-subtree-alphabet usefulness summary: the NFA states
+// from which acceptance is reachable consuming only labels of the set, and
+// per AFA the states whose value can possibly be true at (or below) a node
+// whose strict subtree has that alphabet.
+type aliveInfo struct {
+	nfa nfaSet
+	afa []nfaSet
+}
+
+// aliveUnder returns, memoized per strict-subtree label set, the aliveInfo
+// for that alphabet. An NFA state is alive if it is final, an ε-successor
+// is alive, or a transition whose label lies in the set (any label for
+// wildcards on nonempty sets) leads to an alive state; guards are ignored,
+// which only over-approximates — the check stays sound. An AFA state is
+// possibly true if a FINAL or NOT state is reachable from it through
+// same-node edges, or some TRANS in its same-node closure can consume a
+// label of the set.
+func (r *run) aliveUnder(c *xmltree.Node, strict LabelSet) *aliveInfo {
+	setID := r.idx.SetID(c)
+	var key string
+	if setID >= 0 {
+		if info := r.aliveCache[setID]; info != nil {
+			return info
+		}
+	} else if len(strict) == 1 {
+		// Plain index, label universe fits one word: key by the word
+		// itself (no allocation).
+		if info, ok := r.aliveByW[strict[0]]; ok {
+			return info
+		}
+	} else {
+		// Plain index: memoize by set content (sets repeat heavily even
+		// though they are stored per node).
+		key = string(bitsKey(strict))
+		if info, ok := r.aliveByKey[key]; ok {
+			return info
+		}
+	}
+	strictNonEmpty := false
+	for _, w := range strict {
+		if w != 0 {
+			strictNonEmpty = true
+			break
+		}
+	}
+	n := len(r.m.States)
+	alive := make([]bool, n)
+	for s := 0; s < n; s++ {
+		alive[s] = r.m.States[s].Final
+	}
+	fixpointReach(n, alive, func(s int, mark func(int)) {
+		st := &r.m.States[s]
+		for _, t := range st.Eps {
+			mark(t)
+		}
+		for _, tr := range st.Trans {
+			if tr.Wild {
+				if strictNonEmpty {
+					mark(tr.To)
+				}
+				continue
+			}
+			if bit, ok := r.idx.LabelBit(tr.Label); ok && strict.Has(bit) {
+				mark(tr.To)
+			}
+		}
+	})
+	info := &aliveInfo{nfa: make(nfaSet, r.nfaWords), afa: make([]nfaSet, len(r.m.AFAs))}
+	for s := 0; s < n; s++ {
+		if alive[s] {
+			info.nfa.set(s)
+		}
+	}
+	for g := range r.m.AFAs {
+		meta := &r.afaClosure[g]
+		poss := make(nfaSet, meta.words)
+		for t := 0; t < r.m.AFAs[g].NumStates(); t++ {
+			switch {
+			case meta.hasLocal[t]:
+				poss.set(t)
+			case r.afaWild[g][t]:
+				if strictNonEmpty {
+					poss.set(t)
+				}
+			case r.afaNext[g][t].intersects(strict):
+				poss.set(t)
+			}
+		}
+		info.afa[g] = poss
+	}
+	switch {
+	case setID >= 0:
+		r.aliveCache[setID] = info
+	case len(strict) == 1:
+		if r.aliveByW == nil {
+			r.Engine.aliveByW = make(map[uint64]*aliveInfo)
+		}
+		r.aliveByW[strict[0]] = info
+	default:
+		if r.aliveByKey == nil {
+			r.Engine.aliveByKey = make(map[string]*aliveInfo)
+		}
+		r.aliveByKey[key] = info
+	}
+	return info
+}
+
+// useful reports whether visiting child c can contribute anything: an
+// answer somewhere in c's subtree (a state alive under the subtree's
+// alphabet), or an AFA value that is not trivially false. It is sound
+// (never skips a contributing subtree): acceptance below c only consumes
+// labels occurring strictly below c, and an AFA seed can only become true
+// locally (final predicate or NOT) or by consuming such a label.
+func (r *run) useful(c *xmltree.Node, cms nfaSet, cseeds []nfaSet) bool {
+	strict := r.idx.StrictLabels(c)
+	strictNonEmpty := false
+	covers := true
+	for i, w := range strict {
+		if w != 0 {
+			strictNonEmpty = true
+		}
+		if r.usedLabels[i]&^w != 0 {
+			covers = false
+		}
+	}
+	if covers && strictNonEmpty {
+		// The subtree offers every label the automaton can consume;
+		// alphabet-based pruning cannot apply (active seeds are
+		// productive by construction).
+		return true
+	}
+	info := r.aliveUnder(c, strict)
+	if cms.intersects(info.nfa) {
+		return true
+	}
+	bloom := r.idx.TextBloom(c)
+	for g := range cseeds {
+		if cseeds[g] == nil {
+			continue
+		}
+		for w := range cseeds[g] {
+			cw := cseeds[g][w] & info.afa[g][w]
+			for cw != 0 {
+				t := w<<6 + bits.TrailingZeros64(cw)
+				cw &= cw - 1
+				if r.afaAlways[g][t] {
+					return true
+				}
+				for _, mk := range r.afaTextMasks[g][t] {
+					if bloom&mk == mk {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

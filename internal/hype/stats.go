@@ -1,0 +1,11 @@
+package hype
+
+// PruneRate returns the fraction of element nodes the run skipped, given
+// the subtree's total element count (as reported by the document's stats
+// or the index's SubtreeSize of the context node) — the §7 pruning metric.
+func (s Stats) PruneRate(totalElements int) float64 {
+	if totalElements <= 0 {
+		return 0
+	}
+	return float64(totalElements-s.VisitedElements) / float64(totalElements)
+}

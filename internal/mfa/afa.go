@@ -1,0 +1,399 @@
+// Package mfa implements the mixed finite state automata of §4 of the
+// paper: a selecting NFA whose states may be annotated ("guarded") with
+// alternating finite state automata (AFAs) representing Xreg filters, plus
+// a compiler from Xreg queries to MFAs (Theorem 4.1) and a naive
+// product-graph evaluator used as a correctness oracle. The optimized
+// single-pass evaluator HyPE lives in package hype.
+package mfa
+
+import (
+	"fmt"
+	"strings"
+
+	"smoqe/internal/xmltree"
+)
+
+// PredKind distinguishes the predicates that may annotate AFA final states.
+type PredKind uint8
+
+const (
+	// PredNone means the final state is unconditionally true.
+	PredNone PredKind = iota
+	// PredText is text()='c'.
+	PredText
+	// PredPos is position()=k.
+	PredPos
+)
+
+// Pred is the optional predicate of an AFA final state (§4: final states
+// are "optionally annotated with predicates of the form text()='c' or
+// position()=k").
+type Pred struct {
+	Kind PredKind
+	Text string // PredText
+	K    int    // PredPos
+}
+
+// Holds reports whether the predicate holds at node n.
+func (p Pred) Holds(n *xmltree.Node) bool {
+	switch p.Kind {
+	case PredNone:
+		return true
+	case PredText:
+		return n.TextContent() == p.Text
+	case PredPos:
+		return n.Pos == p.K
+	default:
+		return false
+	}
+}
+
+func (p Pred) String() string {
+	switch p.Kind {
+	case PredNone:
+		return ""
+	case PredText:
+		return fmt.Sprintf("[text()=%q]", p.Text)
+	case PredPos:
+		return fmt.Sprintf("[position()=%d]", p.K)
+	default:
+		return "[?]"
+	}
+}
+
+// AFAKind is the kind of an AFA state. Per §4, states are partitioned into
+// operator states (AND/OR/NOT), transition states, and final states.
+type AFAKind uint8
+
+const (
+	// AFAOr is an OR operator state; its value is the disjunction of its
+	// children, evaluated at the same tree node. OR of nothing is false.
+	AFAOr AFAKind = iota
+	// AFAAnd is an AND operator state; conjunction at the same node.
+	// AND of nothing is true.
+	AFAAnd
+	// AFANot negates its single child at the same node.
+	AFANot
+	// AFATrans consumes one child step: its value at n is true iff some
+	// element child of n matching Label/Wild makes the target state true.
+	AFATrans
+	// AFAFinal is a final state; true iff its predicate holds at the node.
+	AFAFinal
+)
+
+func (k AFAKind) String() string {
+	switch k {
+	case AFAOr:
+		return "OR"
+	case AFAAnd:
+		return "AND"
+	case AFANot:
+		return "NOT"
+	case AFATrans:
+		return "TRANS"
+	case AFAFinal:
+		return "FINAL"
+	default:
+		return fmt.Sprintf("AFAKind(%d)", uint8(k))
+	}
+}
+
+// AFAState is one state of an AFA.
+type AFAState struct {
+	Kind AFAKind
+	// Label/Wild describe the child step of an AFATrans state.
+	Label string
+	Wild  bool
+	// Kids are the same-node children of operator states (exactly one for
+	// NOT), or the single target (at a child tree node) of a TRANS state.
+	Kids []int
+	// Pred annotates FINAL states.
+	Pred Pred
+}
+
+// AFA is an alternating finite automaton over a tree, evaluated at a node.
+// The value of the automaton at node n is the value of Start at n.
+//
+// The same-node subgraph (operator states and their Kids edges) may be
+// cyclic — Kleene stars inside filters create OR-cycles — but cycles never
+// pass through NOT states (validated by Freeze), so per-node evaluation is
+// a monotone least-fixpoint computed SCC by SCC.
+type AFA struct {
+	States []AFAState
+	Start  int
+
+	// sccs holds the strongly connected components of the same-node
+	// subgraph in dependency order (children before parents); cyclic
+	// components are iterated to a fixpoint during evaluation.
+	sccs   [][]int
+	cyclic []bool
+	frozen bool
+}
+
+// NumStates returns the number of AFA states.
+func (a *AFA) NumStates() int { return len(a.States) }
+
+// NumEdges returns the number of Kids edges.
+func (a *AFA) NumEdges() int {
+	n := 0
+	for i := range a.States {
+		n += len(a.States[i].Kids)
+	}
+	return n
+}
+
+// sameNodeKids returns the Kids edges that stay at the same tree node
+// (operator-state edges; TRANS edges descend and are excluded).
+func (a *AFA) sameNodeKids(s int) []int {
+	st := &a.States[s]
+	if st.Kind == AFATrans || st.Kind == AFAFinal {
+		return nil
+	}
+	return st.Kids
+}
+
+// Freeze validates the AFA and precomputes the SCC evaluation order. It
+// must be called once after construction; evaluation panics on an unfrozen
+// AFA.
+func (a *AFA) Freeze() error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	a.computeSCCs()
+	// No NOT state may sit on a same-node cycle (it would make the
+	// fixpoint non-monotone). By construction from Xreg this never
+	// happens; hand-built AFAs are rejected here.
+	for i, comp := range a.sccs {
+		if !a.cyclic[i] {
+			continue
+		}
+		for _, s := range comp {
+			if a.States[s].Kind == AFANot {
+				return fmt.Errorf("mfa: AFA state %d: NOT on a same-node cycle", s)
+			}
+		}
+	}
+	a.frozen = true
+	return nil
+}
+
+// MustFreeze is Freeze but panics on error.
+func (a *AFA) MustFreeze() {
+	if err := a.Freeze(); err != nil {
+		panic(err)
+	}
+}
+
+func (a *AFA) validate() error {
+	if a.Start < 0 || a.Start >= len(a.States) {
+		return fmt.Errorf("mfa: AFA start state %d out of range", a.Start)
+	}
+	for i := range a.States {
+		st := &a.States[i]
+		for _, k := range st.Kids {
+			if k < 0 || k >= len(a.States) {
+				return fmt.Errorf("mfa: AFA state %d: child %d out of range", i, k)
+			}
+		}
+		switch st.Kind {
+		case AFANot:
+			if len(st.Kids) != 1 {
+				return fmt.Errorf("mfa: AFA state %d: NOT must have exactly one child, has %d", i, len(st.Kids))
+			}
+		case AFAAnd:
+			// An empty AND would be constant true under EvalAt but is
+			// classified unprovable by the pruning metadata; no builder
+			// produces one, so reject it outright (an empty OR is the
+			// canonical constant-false placeholder and stays legal).
+			if len(st.Kids) == 0 {
+				return fmt.Errorf("mfa: AFA state %d: AND must have at least one child", i)
+			}
+		case AFATrans:
+			if len(st.Kids) != 1 {
+				return fmt.Errorf("mfa: AFA state %d: TRANS must have exactly one target, has %d", i, len(st.Kids))
+			}
+			if !st.Wild && st.Label == "" {
+				return fmt.Errorf("mfa: AFA state %d: TRANS without label", i)
+			}
+		case AFAFinal:
+			if len(st.Kids) != 0 {
+				return fmt.Errorf("mfa: AFA state %d: FINAL must have no children", i)
+			}
+		}
+	}
+	return nil
+}
+
+// computeSCCs runs Tarjan's algorithm on the same-node subgraph. Tarjan
+// emits components only after all components they can reach, i.e. children
+// first — exactly the evaluation order we need.
+func (a *AFA) computeSCCs() {
+	n := len(a.States)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	a.sccs = a.sccs[:0]
+	a.cyclic = a.cyclic[:0]
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range a.sameNodeKids(v) {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			cyc := len(comp) > 1
+			if !cyc {
+				// Self-loop?
+				for _, w := range a.sameNodeKids(comp[0]) {
+					if w == comp[0] {
+						cyc = true
+						break
+					}
+				}
+			}
+			a.sccs = append(a.sccs, comp)
+			a.cyclic = append(a.cyclic, cyc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+}
+
+// EvalAt computes the truth vector of all AFA states at node n, given
+// transVals: for each TRANS state s, transVals[s] must already hold the
+// disjunction over n's matching element children c of the value of the
+// target state at c. Operator, NOT and FINAL values are derived here in
+// SCC order; cyclic (star) components are iterated to their least
+// fixpoint. The returned slice is indexed by state.
+func (a *AFA) EvalAt(n *xmltree.Node, transVals []bool) []bool {
+	return a.EvalAtInto(n, transVals, make([]bool, len(a.States)))
+}
+
+// EvalAtInto is EvalAt writing into a caller-provided buffer of length
+// NumStates (it is cleared first); evaluation loops reuse buffers to avoid
+// per-node allocation.
+func (a *AFA) EvalAtInto(n *xmltree.Node, transVals []bool, vals []bool) []bool {
+	return a.EvalAtMasked(n, transVals, vals, nil)
+}
+
+// EvalAtMasked is EvalAtInto restricted to the states whose bit is set in
+// member (a bitset over states; nil means all). The member set must be
+// closed under same-node children — the relevance sets HyPE maintains are —
+// so skipped states are never read by evaluated ones. Skipped states
+// report false.
+func (a *AFA) EvalAtMasked(n *xmltree.Node, transVals []bool, vals []bool, member []uint64) []bool {
+	if !a.frozen {
+		panic("mfa: EvalAt on unfrozen AFA")
+	}
+	for i := range vals {
+		vals[i] = false
+	}
+	in := func(s int) bool {
+		return member == nil || member[s>>6]&(1<<(uint(s)&63)) != 0
+	}
+	step := func(s int) bool {
+		st := &a.States[s]
+		switch st.Kind {
+		case AFAFinal:
+			return st.Pred.Holds(n)
+		case AFATrans:
+			return transVals[s]
+		case AFANot:
+			return !vals[st.Kids[0]]
+		case AFAAnd:
+			for _, k := range st.Kids {
+				if !vals[k] {
+					return false
+				}
+			}
+			return true
+		case AFAOr:
+			for _, k := range st.Kids {
+				if vals[k] {
+					return true
+				}
+			}
+			return false
+		default:
+			panic("mfa: bad AFA state kind")
+		}
+	}
+	for i, comp := range a.sccs {
+		if !a.cyclic[i] {
+			s := comp[0]
+			if in(s) {
+				vals[s] = step(s)
+			}
+			continue
+		}
+		// Monotone fixpoint: all states start false; |comp| rounds
+		// suffice since each round either stabilizes or flips at least
+		// one state to true.
+		for changed := true; changed; {
+			changed = false
+			for _, s := range comp {
+				if !vals[s] && in(s) && step(s) {
+					vals[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return vals
+}
+
+// String renders the AFA for debugging.
+func (a *AFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AFA(start=%d)\n", a.Start)
+	for i := range a.States {
+		st := &a.States[i]
+		fmt.Fprintf(&b, "  %3d %-5s", i, st.Kind)
+		switch st.Kind {
+		case AFATrans:
+			lbl := st.Label
+			if st.Wild {
+				lbl = "*"
+			}
+			fmt.Fprintf(&b, " --%s--> %d", lbl, st.Kids[0])
+		case AFAFinal:
+			fmt.Fprintf(&b, " %s", st.Pred)
+		default:
+			fmt.Fprintf(&b, " -> %v", st.Kids)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package mfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smoqe/internal/xmltree"
+)
+
+// TestQuickAFAFixpointMatchesBruteForce generates random (NOT-free) AFA
+// same-node graphs with random transition inputs and checks that the SCC
+// fixpoint of EvalAt equals a brute-force least-fixpoint iteration over the
+// whole automaton.
+func TestQuickAFAFixpointMatchesBruteForce(t *testing.T) {
+	n, _ := xmltree.ParseString("<a/>")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numStates := 2 + rng.Intn(14)
+		a := &AFA{Start: 0}
+		transVals := make([]bool, numStates)
+		for i := 0; i < numStates; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				a.States = append(a.States, AFAState{Kind: AFAFinal})
+				if rng.Intn(2) == 0 {
+					// Unsatisfied text predicate: constant false.
+					a.States[i].Pred = Pred{Kind: PredText, Text: "nope"}
+				}
+			case 1:
+				a.States = append(a.States, AFAState{Kind: AFATrans, Label: "x", Kids: []int{rng.Intn(numStates)}})
+				transVals[i] = rng.Intn(2) == 0
+			default:
+				kind := AFAOr
+				if rng.Intn(2) == 0 {
+					kind = AFAAnd
+				}
+				k := rng.Intn(3)
+				if kind == AFAAnd && k == 0 {
+					k = 1 // empty AND is rejected by validation
+				}
+				kids := make([]int, k)
+				for j := range kids {
+					kids[j] = rng.Intn(numStates)
+				}
+				a.States = append(a.States, AFAState{Kind: kind, Kids: kids})
+			}
+		}
+		if err := a.Freeze(); err != nil {
+			// NOT-free graphs always freeze; any error is a bug.
+			t.Logf("freeze: %v", err)
+			return false
+		}
+		got := a.EvalAt(n.Root, transVals)
+
+		// Brute force: iterate the whole system to a fixpoint from all-false.
+		want := make([]bool, numStates)
+		for changed := true; changed; {
+			changed = false
+			for s := 0; s < numStates; s++ {
+				if want[s] {
+					continue
+				}
+				var v bool
+				st := a.States[s]
+				switch st.Kind {
+				case AFAFinal:
+					v = st.Pred.Holds(n.Root)
+				case AFATrans:
+					v = transVals[s]
+				case AFAAnd:
+					v = true
+					for _, k := range st.Kids {
+						v = v && want[k]
+					}
+				case AFAOr:
+					v = false
+					for _, k := range st.Kids {
+						v = v || want[k]
+					}
+				}
+				if v {
+					want[s] = true
+					changed = true
+				}
+			}
+		}
+		for s := range got {
+			if got[s] != want[s] {
+				t.Logf("seed %d: state %d: got %v want %v\n%s", seed, s, got[s], want[s], a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaskedAgreesWithFull checks EvalAtMasked against EvalAtInto on
+// the member states for random closed member sets.
+func TestQuickMaskedAgreesWithFull(t *testing.T) {
+	n, _ := xmltree.ParseString("<a>v</a>")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numStates := 2 + rng.Intn(14)
+		a := &AFA{Start: 0}
+		transVals := make([]bool, numStates)
+		for i := 0; i < numStates; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				a.States = append(a.States, AFAState{Kind: AFAFinal})
+			case 1:
+				a.States = append(a.States, AFAState{Kind: AFATrans, Label: "x", Kids: []int{rng.Intn(numStates)}})
+				transVals[i] = rng.Intn(2) == 0
+			default:
+				kids := []int{rng.Intn(numStates)}
+				if rng.Intn(2) == 0 {
+					kids = append(kids, rng.Intn(numStates))
+				}
+				a.States = append(a.States, AFAState{Kind: AFAOr, Kids: kids})
+			}
+		}
+		if err := a.Freeze(); err != nil {
+			return false
+		}
+		// Random seed set, closed under same-node children.
+		words := (numStates + 63) / 64
+		member := make([]uint64, words)
+		var close func(s int)
+		close = func(s int) {
+			if member[s>>6]&(1<<(uint(s)&63)) != 0 {
+				return
+			}
+			member[s>>6] |= 1 << (uint(s) & 63)
+			st := a.States[s]
+			if st.Kind == AFAOr || st.Kind == AFAAnd || st.Kind == AFANot {
+				for _, k := range st.Kids {
+					close(k)
+				}
+			}
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			close(rng.Intn(numStates))
+		}
+		full := a.EvalAt(n.Root, transVals)
+		masked := a.EvalAtMasked(n.Root, transVals, make([]bool, numStates), member)
+		for s := 0; s < numStates; s++ {
+			if member[s>>6]&(1<<(uint(s)&63)) == 0 {
+				continue
+			}
+			if full[s] != masked[s] {
+				t.Logf("seed %d: member state %d: full %v masked %v", seed, s, full[s], masked[s])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

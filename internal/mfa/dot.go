@@ -1,0 +1,105 @@
+package mfa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the MFA in Graphviz DOT format, in the visual style of
+// Fig. 3 of the paper: the selecting NFA as one cluster (double circles
+// for final states, dashed guard edges labeled λ=X_i) and each AFA as its
+// own cluster (diamonds for operator states, boxes for transitions,
+// double octagons for finals with their predicates).
+func (m *MFA) WriteDOT(w io.Writer) error {
+	ew := &errWriter{w: w}
+	name := m.Name
+	if name == "" {
+		name = "MFA"
+	}
+	ew.printf("digraph %q {\n", name)
+	ew.printf("  rankdir=LR;\n  fontname=\"Helvetica\";\n  node [fontname=\"Helvetica\"];\n")
+	ew.printf("  subgraph cluster_nfa {\n    label=\"selecting NFA\";\n")
+	ew.printf("    start [shape=point];\n")
+	for i := range m.States {
+		st := &m.States[i]
+		shape := "circle"
+		if st.Final {
+			shape = "doublecircle"
+		}
+		ew.printf("    s%d [shape=%s,label=\"s%d\"];\n", i, shape, i)
+	}
+	ew.printf("    start -> s%d;\n", m.Start)
+	for i := range m.States {
+		st := &m.States[i]
+		for _, t := range st.Eps {
+			ew.printf("    s%d -> s%d [label=\"ε\"];\n", i, t)
+		}
+		for _, e := range st.Trans {
+			ew.printf("    s%d -> s%d [label=%q];\n", i, e.To, e.stepString())
+		}
+	}
+	ew.printf("  }\n")
+	for g, a := range m.AFAs {
+		ew.printf("  subgraph cluster_afa%d {\n    label=\"X%d\";\n", g, g)
+		for i := range a.States {
+			st := &a.States[i]
+			switch st.Kind {
+			case AFAOr, AFAAnd, AFANot:
+				ew.printf("    a%d_%d [shape=diamond,label=\"%s\"];\n", g, i, st.Kind)
+			case AFATrans:
+				lbl := st.Label
+				if st.Wild {
+					lbl = "*"
+				}
+				ew.printf("    a%d_%d [shape=box,label=%q];\n", g, i, lbl)
+			case AFAFinal:
+				ew.printf("    a%d_%d [shape=doubleoctagon,label=\"true%s\"];\n", g, i, escapeDOT(st.Pred.String()))
+			}
+		}
+		for i := range a.States {
+			st := &a.States[i]
+			for _, k := range st.Kids {
+				style := ""
+				if st.Kind == AFATrans {
+					style = " [style=bold]"
+				}
+				ew.printf("    a%d_%d -> a%d_%d%s;\n", g, i, g, k, style)
+			}
+		}
+		ew.printf("  }\n")
+	}
+	// Guard annotations: dashed edges from NFA states to AFA entries.
+	for i := range m.States {
+		if m.States[i].Guard < 0 {
+			continue
+		}
+		g := m.States[i].Guard
+		ew.printf("  s%d -> a%d_%d [style=dashed,label=\"λ=X%d\"];\n", i, g, m.GuardEntry(i), g)
+	}
+	ew.printf("}\n")
+	return ew.err
+}
+
+// DOT returns the WriteDOT output as a string.
+func (m *MFA) DOT() string {
+	var b strings.Builder
+	_ = m.WriteDOT(&b)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func escapeDOT(s string) string {
+	return strings.NewReplacer(`"`, `\"`, "\n", " ").Replace(s)
+}

@@ -1,0 +1,35 @@
+package mfa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smoqe/internal/xpath"
+)
+
+func TestDOTOutput(t *testing.T) {
+	m := MustCompile(xpath.MustParse("(a/b)*/c[d/text()='v' and not(e)]"))
+	dot := m.DOT()
+	for _, want := range []string{
+		"digraph",
+		"cluster_nfa",
+		"cluster_afa0",
+		"doublecircle", // final NFA state
+		"λ=X0",         // guard annotation
+		"diamond",      // operator state
+		"doubleoctagon",
+		`\"v\"`, // escaped predicate text
+		"rankdir=LR",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every state must appear.
+	for i := range m.States {
+		if !strings.Contains(dot, fmt.Sprintf("s%d [", i)) {
+			t.Errorf("state s%d missing from DOT", i)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package mfa
+
+// Binary serialization of MFAs. Rewriting a query over a view depends only
+// on the query and the view definition, so servers cache rewritten
+// automata; this format persists them across processes (e.g. one rewrite
+// service, many evaluator replicas). The encoding is a simple versioned
+// varint format with no reflection and no external dependencies.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	binaryMagic   = "SMOQEMFA"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the MFA.
+func (m *MFA) WriteBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("mfa: encode: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	enc := &encoder{w: bw}
+	enc.bytes([]byte(binaryMagic))
+	enc.uvarint(binaryVersion)
+	enc.string(m.Name)
+	enc.uvarint(uint64(m.Start))
+	enc.uvarint(uint64(len(m.States)))
+	for i := range m.States {
+		st := &m.States[i]
+		enc.uvarint(uint64(len(st.Eps)))
+		for _, t := range st.Eps {
+			enc.uvarint(uint64(t))
+		}
+		enc.uvarint(uint64(len(st.Trans)))
+		for _, e := range st.Trans {
+			enc.string(e.Label)
+			enc.bool(e.Wild)
+			enc.uvarint(uint64(e.To))
+		}
+		enc.varint(int64(st.Guard))
+		enc.varint(int64(st.GuardStart))
+		enc.bool(st.Final)
+		enc.uvarint(uint64(st.Tag))
+	}
+	enc.uvarint(uint64(len(m.AFAs)))
+	for _, a := range m.AFAs {
+		enc.uvarint(uint64(a.Start))
+		enc.uvarint(uint64(len(a.States)))
+		for i := range a.States {
+			st := &a.States[i]
+			enc.uvarint(uint64(st.Kind))
+			enc.string(st.Label)
+			enc.bool(st.Wild)
+			enc.uvarint(uint64(len(st.Kids)))
+			for _, k := range st.Kids {
+				enc.uvarint(uint64(k))
+			}
+			enc.uvarint(uint64(st.Pred.Kind))
+			enc.string(st.Pred.Text)
+			enc.varint(int64(st.Pred.K))
+		}
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes an MFA written by WriteBinary, freezing its AFAs
+// and validating the result.
+func ReadBinary(r io.Reader) (*MFA, error) {
+	dec := &decoder{r: bufio.NewReader(r)}
+	magic := dec.bytes(len(binaryMagic))
+	if dec.err == nil && string(magic) != binaryMagic {
+		return nil, fmt.Errorf("mfa: decode: bad magic %q", magic)
+	}
+	if v := dec.uvarint(); dec.err == nil && v != binaryVersion {
+		return nil, fmt.Errorf("mfa: decode: unsupported version %d", v)
+	}
+	m := &MFA{}
+	m.Name = dec.string()
+	m.Start = int(dec.uvarint())
+	numStates := dec.count()
+	for i := 0; i < numStates && dec.err == nil; i++ {
+		var st NFAState
+		nEps := dec.count()
+		for j := 0; j < nEps && dec.err == nil; j++ {
+			st.Eps = append(st.Eps, int(dec.uvarint()))
+		}
+		nTrans := dec.count()
+		for j := 0; j < nTrans && dec.err == nil; j++ {
+			var e Edge
+			e.Label = dec.string()
+			e.Wild = dec.bool()
+			e.To = int(dec.uvarint())
+			st.Trans = append(st.Trans, e)
+		}
+		st.Guard = int(dec.varint())
+		st.GuardStart = int(dec.varint())
+		st.Final = dec.bool()
+		st.Tag = int(dec.uvarint())
+		m.States = append(m.States, st)
+	}
+	numAFAs := dec.count()
+	for i := 0; i < numAFAs && dec.err == nil; i++ {
+		a := &AFA{}
+		a.Start = int(dec.uvarint())
+		n := dec.count()
+		for j := 0; j < n && dec.err == nil; j++ {
+			var st AFAState
+			st.Kind = AFAKind(dec.uvarint())
+			st.Label = dec.string()
+			st.Wild = dec.bool()
+			nk := dec.count()
+			for k := 0; k < nk && dec.err == nil; k++ {
+				st.Kids = append(st.Kids, int(dec.uvarint()))
+			}
+			st.Pred.Kind = PredKind(dec.uvarint())
+			st.Pred.Text = dec.string()
+			st.Pred.K = int(dec.varint())
+			a.States = append(a.States, st)
+		}
+		if dec.err == nil {
+			if err := a.Freeze(); err != nil {
+				return nil, fmt.Errorf("mfa: decode: %w", err)
+			}
+		}
+		m.AFAs = append(m.AFAs, a)
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("mfa: decode: %w", dec.err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mfa: decode: %w", err)
+	}
+	return m, nil
+}
+
+// maxDecodeCount caps list lengths so corrupted input cannot trigger huge
+// allocations.
+const maxDecodeCount = 16 << 20
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.bytes(e.buf[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.bytes(e.buf[:n])
+}
+
+func (e *encoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.bytes([]byte(s))
+}
+
+func (e *encoder) bool(b bool) {
+	if b {
+		e.uvarint(1)
+	} else {
+		e.uvarint(0)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	_, d.err = io.ReadFull(d.r, b)
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	d.err = err
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	d.err = err
+	return v
+}
+
+// count reads a list length with an allocation-safety cap.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > maxDecodeCount {
+		d.err = fmt.Errorf("implausible element count %d", v)
+		return 0
+	}
+	if v > math.MaxInt32 {
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(d.bytes(n))
+}
+
+func (d *decoder) bool() bool { return d.uvarint() != 0 }

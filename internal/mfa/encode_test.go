@@ -1,0 +1,127 @@
+package mfa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	queries := []string{
+		".",
+		"a/b[c]",
+		"(a/b)*/c[d/text()='v' and not(e)]",
+		"a[b/position()=2] | c/*",
+		"a[(b/c)*/d]",
+	}
+	doc, err := xmltree.ParseString(`<r><a><b><c>v</c></b></a><c><x/></c></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range queries {
+		m := MustCompile(xpath.MustParse(src))
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			t.Fatalf("%q: write: %v", src, err)
+		}
+		m2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%q: read: %v", src, err)
+		}
+		if m.String() != m2.String() {
+			t.Errorf("%q: round trip changed the automaton:\n%s\nvs\n%s", src, m, m2)
+		}
+		a, b := Eval(m, doc.Root), Eval(m2, doc.Root)
+		if len(a) != len(b) {
+			t.Errorf("%q: decoded automaton disagrees: %d vs %d", src, len(a), len(b))
+		}
+	}
+}
+
+func TestBinaryRoundTripTagged(t *testing.T) {
+	m1 := MustCompile(xpath.MustParse("a/b"))
+	m2 := MustCompile(xpath.MustParse("c[d]"))
+	merged, err := Merge([]*MFA{m1, m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := merged.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTags() != merged.NumTags() {
+		t.Errorf("tags lost: %d vs %d", back.NumTags(), merged.NumTags())
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	m := MustCompile(xpath.MustParse("a[b/text()='v']"))
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOTSMOQE" + string(good[8:])),
+		"truncated":    good[:len(good)/2],
+		"truncated-1":  good[:len(good)-1],
+		"only magic":   good[:8],
+		"version junk": append(append([]byte{}, good[:8]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	// Bit flips must never panic (indices are validated).
+	for i := 8; i < len(good); i++ {
+		mut := append([]byte{}, good...)
+		mut[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit flip at %d: %v", i, r)
+				}
+			}()
+			_, _ = ReadBinary(bytes.NewReader(mut))
+		}()
+	}
+}
+
+func TestBinaryRejectsHugeCounts(t *testing.T) {
+	// A forged header claiming 2^40 states must fail fast, not allocate.
+	var buf bytes.Buffer
+	buf.WriteString("SMOQEMFA")
+	buf.WriteByte(1)                                            // version
+	buf.WriteByte(0)                                            // name len
+	buf.WriteByte(0)                                            // start
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // huge count
+	if _, err := ReadBinary(&buf); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("want implausible-count error, got %v", err)
+	}
+}
+
+func TestBinaryRejectsHugeTag(t *testing.T) {
+	m := MustCompile(xpath.MustParse("a"))
+	// Forge an absurd tag on the final state and ensure a round trip is
+	// rejected (Validate runs on decode).
+	for i := range m.States {
+		if m.States[i].Final {
+			m.States[i].Tag = 1 << 40
+		}
+	}
+	var buf bytes.Buffer
+	// WriteBinary itself validates; it must refuse.
+	if err := m.WriteBinary(&buf); err == nil {
+		t.Fatal("WriteBinary accepted a huge tag")
+	}
+}

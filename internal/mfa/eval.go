@@ -1,0 +1,118 @@
+package mfa
+
+import (
+	"smoqe/internal/xmltree"
+)
+
+// Eval computes ctx[[M]] — the answer set of the MFA at context node ctx —
+// by explicit breadth-first search over the product of the tree and the
+// selecting NFA, evaluating guard AFAs with memoization. It materializes
+// the full truth vector of each needed AFA at each visited node, i.e. it is
+// the straightforward "conceptual evaluation" of §4 (Fig. 4), not the
+// optimized single-pass HyPE of §6. It serves as the correctness oracle
+// for HyPE and as a second reference implementation alongside refeval.
+func Eval(m *MFA, ctx *xmltree.Node) []*xmltree.Node {
+	e := &productEval{
+		m:    m,
+		memo: make([]map[*xmltree.Node][]bool, len(m.AFAs)),
+	}
+	for i := range e.memo {
+		e.memo[i] = make(map[*xmltree.Node][]bool)
+	}
+
+	type cfg struct {
+		n *xmltree.Node
+		s int
+	}
+	seen := make(map[cfg]bool)
+	var queue []cfg
+	var answers []*xmltree.Node
+
+	push := func(n *xmltree.Node, s int) {
+		if !e.guardOK(n, s) {
+			return
+		}
+		c := cfg{n, s}
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		queue = append(queue, c)
+		if m.States[s].Final {
+			answers = append(answers, n)
+		}
+	}
+
+	push(ctx, m.Start)
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		st := &m.States[c.s]
+		for _, t := range st.Eps {
+			push(c.n, t)
+		}
+		if len(st.Trans) == 0 {
+			continue
+		}
+		for _, child := range c.n.Children {
+			if child.Kind != xmltree.Element {
+				continue
+			}
+			for _, tr := range st.Trans {
+				if tr.Matches(child.Label) {
+					push(child, tr.To)
+				}
+			}
+		}
+	}
+	return xmltree.SortNodes(answers)
+}
+
+type productEval struct {
+	m    *MFA
+	memo []map[*xmltree.Node][]bool // per AFA, per node: full truth vector
+}
+
+func (e *productEval) guardOK(n *xmltree.Node, s int) bool {
+	g := e.m.States[s].Guard
+	if g < 0 {
+		return true
+	}
+	afa := e.m.AFAs[g]
+	return e.afaVector(g, afa, n)[e.m.GuardEntry(s)]
+}
+
+// afaVector returns the truth vector of all states of AFA g at node n,
+// computing child vectors recursively (bottom-up over the subtree).
+func (e *productEval) afaVector(g int, a *AFA, n *xmltree.Node) []bool {
+	if v, ok := e.memo[g][n]; ok {
+		return v
+	}
+	transVals := make([]bool, len(a.States))
+	// For each TRANS state, disjoin the target's value over matching
+	// element children.
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		var childVec []bool
+		for s := range a.States {
+			st := &a.States[s]
+			if st.Kind != AFATrans || transVals[s] {
+				continue
+			}
+			if !st.Wild && st.Label != c.Label {
+				continue
+			}
+			if childVec == nil {
+				childVec = e.afaVector(g, a, c)
+			}
+			if childVec[st.Kids[0]] {
+				transVals[s] = true
+			}
+		}
+	}
+	v := a.EvalAt(n, transVals)
+	e.memo[g][n] = v
+	return v
+}

@@ -1,0 +1,338 @@
+package mfa
+
+import (
+	"strings"
+	"testing"
+
+	"smoqe/internal/refeval"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+// viewDoc is the tree of Fig. 4 of the paper (view-shaped hospital data).
+func viewDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<hospital>
+  <patient>
+    <parent>
+      <patient>
+        <record><diagnosis>lung disease</diagnosis></record>
+      </patient>
+    </parent>
+    <record><diagnosis>brain disease</diagnosis></record>
+  </patient>
+  <patient>
+    <parent>
+      <patient>
+        <record><diagnosis>heart disease</diagnosis></record>
+      </patient>
+    </parent>
+    <record><diagnosis>lung disease</diagnosis></record>
+  </patient>
+</hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// q0 is Q0 from Example 4.1.
+const q0Src = "(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']"
+
+func TestCompileValidates(t *testing.T) {
+	queries := []string{
+		".", "a", "*", "a/b", "a | b", "a*", "(a/b)*", "a[b]",
+		"a[text()='v']", "a[not(b) and (c or d/text()='v')]",
+		q0Src,
+		"a[b[c[d/text()='deep']]]",
+		"a[(b/c)*/d/position()=2]",
+	}
+	for _, src := range queries {
+		m, err := Compile(xpath.MustParse(src))
+		if err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+		if m.Size() <= 0 {
+			t.Errorf("Size(%q) = %d", src, m.Size())
+		}
+	}
+}
+
+func TestCompileSizeLinear(t *testing.T) {
+	// |MFA| must grow linearly with |Q| (no exponential blowup): doubling
+	// the query roughly doubles the automaton.
+	base := "a[b/text()='v']/(c/d)*"
+	small := MustCompile(xpath.MustParse(base))
+	big := MustCompile(xpath.MustParse(base + "/" + base + "/" + base + "/" + base))
+	if big.Size() > 6*small.Size() {
+		t.Errorf("size blowup: 4x query gave %d vs %d", big.Size(), small.Size())
+	}
+}
+
+func TestEvalMatchesRefOnExamples(t *testing.T) {
+	d := viewDoc(t)
+	queries := []string{
+		".",
+		"patient",
+		"patient/record",
+		"patient/record/diagnosis",
+		"*",
+		"**",
+		"patient | patient/parent",
+		"(patient/parent)*",
+		"(patient/parent)*/patient",
+		q0Src,
+		"patient[record]",
+		"patient[not(record/diagnosis/text()='lung disease')]",
+		"patient[parent/patient/record/diagnosis/text()='heart disease']",
+		"patient[record and parent]",
+		"patient[record or parent]",
+		"patient[(parent/patient)*/record]",
+		"patient[parent[patient[record/diagnosis/text()='heart disease']]]",
+		"//diagnosis",
+		"patient//record",
+		"patient[.//diagnosis/text()='heart disease']",
+		"patient/record/diagnosis[text()='lung disease']",
+		"patient[record/position()=2]",
+		".[patient]",
+		"(patient | patient/parent/patient)[record]",
+	}
+	for _, src := range queries {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, d.Root)
+		m := MustCompile(q)
+		got := Eval(m, d.Root)
+		if !sameNodes(got, want) {
+			t.Errorf("query %q:\n got %v\nwant %v", src, ids(got), ids(want))
+		}
+	}
+}
+
+// TestEvalAtNonRootContext checks evaluation at interior context nodes.
+func TestEvalAtNonRootContext(t *testing.T) {
+	d := viewDoc(t)
+	p1 := d.Root.ElementChildren()[0]
+	for _, src := range []string{"parent/patient", "record", "(parent/patient)*", ".[record]"} {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, p1)
+		got := Eval(MustCompile(q), p1)
+		if !sameNodes(got, want) {
+			t.Errorf("at %s, query %q: got %v want %v", p1.Path(), src, ids(got), ids(want))
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	// The MFA for Q0 must have exactly one AFA (the single filter,
+	// flattened per Example 5.2) and a guarded state.
+	m := MustCompile(xpath.MustParse(q0Src))
+	if len(m.AFAs) != 1 {
+		t.Fatalf("AFAs = %d, want 1", len(m.AFAs))
+	}
+	guarded := 0
+	for i := range m.States {
+		if m.States[i].Guard >= 0 {
+			guarded++
+		}
+	}
+	if guarded != 1 {
+		t.Errorf("guarded states = %d, want 1", guarded)
+	}
+	// String output mentions the guard annotation like Fig. 3's λ(s4)=X0.
+	if s := m.String(); !strings.Contains(s, "λ=X0") {
+		t.Errorf("String() missing guard annotation:\n%s", s)
+	}
+}
+
+func TestNestedFiltersFlattenIntoOneAFA(t *testing.T) {
+	// q = p[q1] with q1 = p'[q1'] must produce a single AFA (Example 5.2),
+	// not nested automata.
+	m := MustCompile(xpath.MustParse("a[b[c[text()='v']]]"))
+	if len(m.AFAs) != 1 {
+		t.Errorf("nested filters gave %d AFAs, want 1", len(m.AFAs))
+	}
+	// Three stacked filters on one step still give one AFA per filter.
+	m2 := MustCompile(xpath.MustParse("a[b][c][d]"))
+	if len(m2.AFAs) != 3 {
+		t.Errorf("stacked filters gave %d AFAs, want 3", len(m2.AFAs))
+	}
+}
+
+func TestAFAEvalBasics(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b>x</b><c><b>y</b></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pred string
+		want bool
+	}{
+		{"b", true},
+		{"d", false},
+		{"b/text()='x'", true},
+		{"b/text()='y'", false},
+		{"c/b/text()='y'", true},
+		{"not(d)", true},
+		{"b and c", true},
+		{"b and d", false},
+		{"d or c", true},
+		{"(*)*/b/text()='y'", true},
+		{"not(b) or c/b", true},
+		{"c/position()=2", true},
+		{"b/position()=2", false},
+		{"not(not(b))", true},
+	}
+	for _, c := range cases {
+		p, err := xpath.ParsePred(c.pred)
+		if err != nil {
+			t.Fatalf("ParsePred(%q): %v", c.pred, err)
+		}
+		afa, err := BuildAFA(p)
+		if err != nil {
+			t.Fatalf("BuildAFA(%q): %v", c.pred, err)
+		}
+		got := evalAFAAt(afa, d.Root)
+		if got != c.want {
+			t.Errorf("pred %q at root = %v, want %v", c.pred, got, c.want)
+		}
+		if want2 := refeval.Holds(p, d.Root); got != want2 {
+			t.Errorf("pred %q: AFA %v vs refeval %v", c.pred, got, want2)
+		}
+	}
+}
+
+// evalAFAAt evaluates a standalone AFA at a node via a throwaway MFA.
+func evalAFAAt(a *AFA, n *xmltree.Node) bool {
+	e := &productEval{m: &MFA{AFAs: []*AFA{a}}, memo: []map[*xmltree.Node][]bool{make(map[*xmltree.Node][]bool)}}
+	return e.afaVector(0, a, n)[a.Start]
+}
+
+func TestAFACycleFixpoint(t *testing.T) {
+	// (b)*/c over a chain b/b/b/c: the OR-cycle must reach the c four
+	// levels down.
+	d, err := xmltree.ParseString(`<a><b><b><b><c/></b></b></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := xpath.ParsePred("(b)*/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	afa, err := BuildAFA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evalAFAAt(afa, d.Root) {
+		t.Error("(b)*/c must hold at root")
+	}
+	b3 := d.Root.ElementChildren()[0].ElementChildren()[0].ElementChildren()[0]
+	if !evalAFAAt(afa, b3) {
+		t.Error("(b)*/c must hold at the innermost b (zero iterations, then c)")
+	}
+	c := b3.ElementChildren()[0]
+	if evalAFAAt(afa, c) {
+		t.Error("(b)*/c must not hold at the leaf c")
+	}
+}
+
+func TestAFAFreezeRejectsNotInCycle(t *testing.T) {
+	// Hand-build X = NOT(X): must be rejected.
+	a := &AFA{
+		States: []AFAState{{Kind: AFANot, Kids: []int{0}}},
+		Start:  0,
+	}
+	if err := a.Freeze(); err == nil {
+		t.Error("NOT on a cycle must be rejected")
+	}
+}
+
+func TestAFAValidation(t *testing.T) {
+	bad := []*AFA{
+		{States: []AFAState{{Kind: AFAOr}}, Start: 5},                           // start out of range
+		{States: []AFAState{{Kind: AFANot, Kids: []int{0, 0}}}, Start: 0},       // NOT arity
+		{States: []AFAState{{Kind: AFATrans, Label: "a", Kids: nil}}, Start: 0}, // TRANS arity
+		{States: []AFAState{{Kind: AFATrans, Kids: []int{0}}}, Start: 0},        // TRANS no label
+		{States: []AFAState{{Kind: AFAFinal, Kids: []int{0}}}, Start: 0},        // FINAL with kids
+		{States: []AFAState{{Kind: AFAOr, Kids: []int{7}}}, Start: 0},           // kid out of range
+	}
+	for i, a := range bad {
+		if err := a.Freeze(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestMFAValidation(t *testing.T) {
+	// No final state is legal (the empty query).
+	m := &MFA{States: []NFAState{{Guard: -1, GuardStart: -1}}, Start: 0}
+	if err := m.Validate(); err != nil {
+		t.Errorf("MFA without final state must be accepted: %v", err)
+	}
+	// Guard out of range.
+	m2 := &MFA{States: []NFAState{{Guard: 3, GuardStart: -1, Final: true}}, Start: 0}
+	if err := m2.Validate(); err == nil {
+		t.Error("guard out of range must be rejected")
+	}
+	// Guard start out of range.
+	a := &AFA{States: []AFAState{{Kind: AFAFinal}}, Start: 0}
+	a.MustFreeze()
+	m3 := &MFA{States: []NFAState{{Guard: 0, GuardStart: 9, Final: true}}, Start: 0, AFAs: []*AFA{a}}
+	if err := m3.Validate(); err == nil {
+		t.Error("guard start out of range must be rejected")
+	}
+}
+
+func TestEpsClosure(t *testing.T) {
+	b := NewBuilder()
+	s0, s1, s2, s3 := b.NewState(), b.NewState(), b.NewState(), b.NewState()
+	b.AddEps(s0, s1)
+	b.AddEps(s1, s2)
+	b.AddEps(s2, s0) // cycle
+	_ = s3
+	m := b.FinishMulti(s0, []int{s2})
+	got := m.EpsClosure([]int{s0})
+	if len(got) != 3 {
+		t.Errorf("closure = %v, want 3 states", got)
+	}
+}
+
+func TestStatsBreakdown(t *testing.T) {
+	m := MustCompile(xpath.MustParse("a[b]/c"))
+	st := m.ComputeStats()
+	if st.Size != m.Size() {
+		t.Errorf("Stats.Size %d != Size() %d", st.Size, m.Size())
+	}
+	if st.AFACount != 1 || st.AFAStates == 0 || st.NFAStates == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func sameNodes(a, b []*xmltree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ids(ns []*xmltree.Node) []int { return xmltree.IDsOf(ns) }
+
+func TestAFARejectsEmptyAnd(t *testing.T) {
+	a := &AFA{States: []AFAState{{Kind: AFAAnd}}, Start: 0}
+	if err := a.Freeze(); err == nil {
+		t.Error("empty AND must be rejected (constant-true vs prune-false inconsistency)")
+	}
+	// Empty OR (constant false) remains legal.
+	b := &AFA{States: []AFAState{{Kind: AFAOr}}, Start: 0}
+	if err := b.Freeze(); err != nil {
+		t.Errorf("empty OR must stay legal: %v", err)
+	}
+}

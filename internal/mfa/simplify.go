@@ -1,0 +1,301 @@
+package mfa
+
+import "sort"
+
+// Simplification of MFAs. Thompson-style compilation and especially the
+// view-rewriting product leave many administrative ε-states behind;
+// Simplify collapses them without changing the recognized query:
+//
+//   - pure forwarding states (non-final, unguarded, no label transitions,
+//     exactly one ε-successor) are merged into their successor;
+//   - states unreachable from the start and states from which no final
+//     state is reachable are dropped (runs through them can never
+//     contribute an answer);
+//   - duplicate transitions are removed;
+//   - unused AFAs are dropped and the remaining ones are compacted the
+//     same way (single-child AND/OR states forward to their child, states
+//     unreachable from any guard entry are dropped).
+//
+// The result is a fresh, equivalent MFA; the input is not modified.
+
+// Simplify returns an equivalent, usually much smaller MFA.
+func Simplify(m *MFA) *MFA {
+	n := len(m.States)
+
+	// ---- 1. Alias resolution for pure forwarding states.
+	alias := make([]int, n)
+	for s := range alias {
+		alias[s] = s
+	}
+	for s := 0; s < n; s++ {
+		st := &m.States[s]
+		if !st.Final && st.Guard < 0 && len(st.Trans) == 0 && len(st.Eps) == 1 {
+			alias[s] = st.Eps[0]
+		}
+	}
+	// Path-compress with cycle protection: a pure-ε cycle is collectively
+	// dead weight; break it by letting its entry state represent it.
+	target := make([]int, n)
+	for s := range target {
+		target[s] = -1
+	}
+	var resolve func(s int, onPath map[int]bool) int
+	resolve = func(s int, onPath map[int]bool) int {
+		if target[s] >= 0 {
+			return target[s]
+		}
+		if alias[s] == s || onPath[s] {
+			target[s] = s
+			return s
+		}
+		onPath[s] = true
+		t := resolve(alias[s], onPath)
+		delete(onPath, s)
+		target[s] = t
+		return t
+	}
+	for s := 0; s < n; s++ {
+		resolve(s, map[int]bool{})
+	}
+
+	// ---- 2. Productive states (some final reachable through any edges,
+	// following targets).
+	productive := make([]bool, n)
+	for s := 0; s < n; s++ {
+		productive[s] = m.States[s].Final
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			if productive[s] {
+				continue
+			}
+			st := &m.States[s]
+			hit := false
+			for _, t := range st.Eps {
+				if productive[target[t]] {
+					hit = true
+				}
+			}
+			for _, e := range st.Trans {
+				if productive[target[e.To]] {
+					hit = true
+				}
+			}
+			if hit {
+				productive[s] = true
+				changed = true
+			}
+		}
+	}
+
+	// ---- 3. Reachable-and-productive set, from the start.
+	start := target[m.Start]
+	keep := make([]bool, n)
+	if productive[start] {
+		stack := []int{start}
+		keep[start] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			st := &m.States[s]
+			push := func(t int) {
+				t = target[t]
+				if productive[t] && !keep[t] {
+					keep[t] = true
+					stack = append(stack, t)
+				}
+			}
+			for _, t := range st.Eps {
+				push(t)
+			}
+			for _, e := range st.Trans {
+				push(e.To)
+			}
+		}
+	} else {
+		// Empty query: keep just the start state.
+		keep[start] = true
+	}
+
+	// ---- 4. Renumber and rebuild.
+	newID := make([]int, n)
+	for s := range newID {
+		newID[s] = -1
+	}
+	out := &MFA{Name: m.Name}
+	for s := 0; s < n; s++ {
+		if keep[s] {
+			newID[s] = len(out.States)
+			out.States = append(out.States, NFAState{Guard: -1, GuardStart: -1})
+		}
+	}
+	out.Start = newID[start]
+
+	// AFA usage: collect guard entry roots per AFA.
+	afaRoots := make(map[int][]int) // old AFA index -> entry states needed
+	for s := 0; s < n; s++ {
+		if !keep[s] {
+			continue
+		}
+		st := &m.States[s]
+		if st.Guard >= 0 {
+			afaRoots[st.Guard] = append(afaRoots[st.Guard], m.GuardEntry(s))
+		}
+	}
+	afaMap := make(map[int]int)           // old AFA index -> new AFA index
+	entryMap := make(map[int]map[int]int) // old AFA index -> old entry -> new entry
+	// Deterministic output order (map iteration would permute AFA indices
+	// across runs, making serialized automata non-reproducible).
+	usedAFAs := make([]int, 0, len(afaRoots))
+	for g := range afaRoots {
+		usedAFAs = append(usedAFAs, g)
+	}
+	sort.Ints(usedAFAs)
+	for _, g := range usedAFAs {
+		sa, remap := simplifyAFA(m.AFAs[g], afaRoots[g])
+		afaMap[g] = len(out.AFAs)
+		out.AFAs = append(out.AFAs, sa)
+		entryMap[g] = remap
+	}
+
+	for s := 0; s < n; s++ {
+		if !keep[s] {
+			continue
+		}
+		st := &m.States[s]
+		ns := &out.States[newID[s]]
+		ns.Final = st.Final
+		ns.Tag = st.Tag
+		if st.Guard >= 0 {
+			ns.Guard = afaMap[st.Guard]
+			ns.GuardStart = entryMap[st.Guard][m.GuardEntry(s)]
+		}
+		epsSeen := map[int]bool{}
+		for _, t := range st.Eps {
+			t = target[t]
+			if !keep[t] {
+				continue
+			}
+			nt := newID[t]
+			if nt == newID[s] || epsSeen[nt] {
+				continue // self-loops and duplicates are useless
+			}
+			epsSeen[nt] = true
+			ns.Eps = append(ns.Eps, nt)
+		}
+		transSeen := map[Edge]bool{}
+		for _, e := range st.Trans {
+			t := target[e.To]
+			if !keep[t] {
+				continue
+			}
+			ne := Edge{Label: e.Label, Wild: e.Wild, To: newID[t]}
+			if transSeen[ne] {
+				continue
+			}
+			transSeen[ne] = true
+			ns.Trans = append(ns.Trans, ne)
+		}
+	}
+	return out
+}
+
+// simplifyAFA compacts one AFA, keeping the given entry roots (plus the
+// nominal start) addressable, and returns the old→new state mapping for
+// them.
+func simplifyAFA(a *AFA, roots []int) (*AFA, map[int]int) {
+	n := len(a.States)
+
+	// Alias single-child AND/OR states to their child (cycle-protected:
+	// pure single-child cycles evaluate to false and are left alone).
+	alias := make([]int, n)
+	for s := range alias {
+		alias[s] = s
+	}
+	for s := 0; s < n; s++ {
+		st := &a.States[s]
+		if (st.Kind == AFAAnd || st.Kind == AFAOr) && len(st.Kids) == 1 {
+			alias[s] = st.Kids[0]
+		}
+	}
+	target := make([]int, n)
+	for s := range target {
+		target[s] = -1
+	}
+	var resolve func(s int, onPath map[int]bool) int
+	resolve = func(s int, onPath map[int]bool) int {
+		if target[s] >= 0 {
+			return target[s]
+		}
+		if alias[s] == s || onPath[s] {
+			target[s] = s
+			return s
+		}
+		onPath[s] = true
+		t := resolve(alias[s], onPath)
+		delete(onPath, s)
+		target[s] = t
+		return t
+	}
+	for s := 0; s < n; s++ {
+		resolve(s, map[int]bool{})
+	}
+
+	// Reachability from the roots and the start.
+	keep := make([]bool, n)
+	var stack []int
+	mark := func(s int) {
+		s = target[s]
+		if !keep[s] {
+			keep[s] = true
+			stack = append(stack, s)
+		}
+	}
+	mark(a.Start)
+	for _, r := range roots {
+		mark(r)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range a.States[s].Kids {
+			mark(k)
+		}
+	}
+
+	newID := make([]int, n)
+	for s := range newID {
+		newID[s] = -1
+	}
+	out := &AFA{}
+	for s := 0; s < n; s++ {
+		if keep[s] {
+			newID[s] = len(out.States)
+			out.States = append(out.States, AFAState{})
+		}
+	}
+	for s := 0; s < n; s++ {
+		if !keep[s] {
+			continue
+		}
+		st := a.States[s]
+		ns := &out.States[newID[s]]
+		ns.Kind = st.Kind
+		ns.Label = st.Label
+		ns.Wild = st.Wild
+		ns.Pred = st.Pred
+		for _, k := range st.Kids {
+			ns.Kids = append(ns.Kids, newID[target[k]])
+		}
+	}
+	out.Start = newID[target[a.Start]]
+	out.MustFreeze()
+
+	remap := make(map[int]int, len(roots)+1)
+	remap[a.Start] = out.Start
+	for _, r := range roots {
+		remap[r] = newID[target[r]]
+	}
+	return out, remap
+}

@@ -1,0 +1,172 @@
+package mfa
+
+import (
+	"testing"
+
+	"smoqe/internal/refeval"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	doc, err := xmltree.ParseString(`<hospital>
+  <patient>
+    <parent><patient><record><diagnosis>heart disease</diagnosis></record></patient></parent>
+    <record><diagnosis>flu</diagnosis></record>
+  </patient>
+  <patient><record><diagnosis>heart disease</diagnosis></record></patient>
+</hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		".",
+		"patient",
+		"patient/record/diagnosis",
+		"**",
+		"(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']",
+		"patient[not(parent) and record]",
+		"patient[record/diagnosis/text()='flu' or parent]",
+		"(patient | patient/parent/patient)[record]",
+		"nosuchlabel/nothing",
+		"patient[nosuch]",
+	}
+	for _, src := range queries {
+		q := xpath.MustParse(src)
+		m := MustCompile(q)
+		s := Simplify(m)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("query %q: simplified MFA invalid: %v\n%s", src, err, s)
+		}
+		if s.Size() > m.Size() {
+			t.Errorf("query %q: simplification grew the MFA: %d -> %d", src, m.Size(), s.Size())
+		}
+		want := refeval.Eval(q, doc.Root)
+		got := Eval(s, doc.Root)
+		if len(got) != len(want) {
+			t.Fatalf("query %q: simplified MFA: got %d nodes, want %d\nbefore:\n%s\nafter:\n%s",
+				src, len(got), len(want), m, s)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("query %q: node %d differs", src, i)
+			}
+		}
+	}
+}
+
+func TestSimplifyShrinksEpsilonChains(t *testing.T) {
+	// Unions and stars create ε-chains; simplification must remove a good
+	// share of the states.
+	q := xpath.MustParse("((a | b)/(c | d))*/e[f | g]")
+	m := MustCompile(q)
+	s := Simplify(m)
+	if s.NumStates() >= m.NumStates() {
+		t.Errorf("states: %d -> %d; expected a reduction", m.NumStates(), s.NumStates())
+	}
+	// Idempotence up to a fixpoint: simplifying twice changes nothing more.
+	s2 := Simplify(s)
+	if s2.Size() != s.Size() {
+		t.Errorf("simplify not idempotent: %d -> %d", s.Size(), s2.Size())
+	}
+}
+
+func TestSimplifyEmptyQuery(t *testing.T) {
+	// A query that can never match anything collapses to a single state.
+	m := MustCompile(xpath.MustParse("a[nosuch/text()='x']/b"))
+	// Manually orphan the finals to force the empty case: use a query
+	// whose NFA final is unreachable... instead build directly:
+	b := NewBuilder()
+	s0 := b.NewState()
+	s1 := b.NewState() // final but unreachable
+	em := b.FinishMulti(s0, []int{s1})
+	se := Simplify(em)
+	if se.NumStates() != 1 {
+		t.Errorf("empty automaton should shrink to 1 state, has %d", se.NumStates())
+	}
+	doc, _ := xmltree.ParseString("<a><b/></a>")
+	if got := Eval(se, doc.Root); len(got) != 0 {
+		t.Errorf("empty automaton returned %d nodes", len(got))
+	}
+	_ = m
+}
+
+func TestSimplifyDropsUnusedAFAs(t *testing.T) {
+	// A guard on an unproductive branch disappears together with the
+	// branch.
+	b := NewBuilder()
+	s0 := b.NewState()
+	fin := b.NewState()
+	b.AddTrans(s0, "a", fin)
+	dead := b.NewState() // guarded, but no final reachable from it
+	b.AddEps(s0, dead)
+	afa, err := BuildAFA(xpath.MustParse("x[y]").(*xpath.Filter).Cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetGuard(dead, b.AddAFA(afa))
+	m := b.FinishMulti(s0, []int{fin})
+	s := Simplify(m)
+	if len(s.AFAs) != 0 {
+		t.Errorf("unused AFA survived simplification: %d AFAs", len(s.AFAs))
+	}
+	doc, _ := xmltree.ParseString("<r><a/></r>")
+	if got := Eval(s, doc.Root); len(got) != 1 {
+		t.Errorf("simplified automaton lost the answer: %d", len(got))
+	}
+}
+
+func TestSimplifySharedGuardEntries(t *testing.T) {
+	// Two states guarded by the same AFA at different entry states — the
+	// shape the view rewriting produces; both entries must stay mapped.
+	ab := NewAFABuilder()
+	fx := ab.NewFinal(Pred{})
+	tx := ab.NewTrans("x", fx)
+	ty := ab.NewTrans("y", fx)
+	or := ab.NewOr(tx, ty)
+	a, err := ab.Finish(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	s0 := b.NewState()
+	f1 := b.NewState()
+	f2 := b.NewState()
+	b.AddTrans(s0, "p", f1)
+	b.AddTrans(s0, "q", f2)
+	g := b.AddAFA(a)
+	b.SetGuardAt(f1, g, tx) // requires an x child
+	b.SetGuardAt(f2, g, ty) // requires a y child
+	m := b.FinishMulti(s0, []int{f1, f2})
+	s := Simplify(m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<r><p><x/></p><p><y/></p><q><y/></q></r>`)
+	got := Eval(s, doc.Root)
+	want := Eval(m, doc.Root)
+	if len(got) != len(want) {
+		t.Fatalf("shared-entry simplification broke: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("node %d differs", i)
+		}
+	}
+	if len(want) != 2 { // first p (has x) and q (has y)
+		t.Errorf("scenario selects %d nodes, want 2", len(want))
+	}
+}
+
+func TestSimplifyDeterministic(t *testing.T) {
+	// Simplify's output (and therefore serialized rewritten automata)
+	// must be byte-identical across runs despite Go's map iteration
+	// randomization.
+	q := xpath.MustParse("a[b][c]/d[e][f]/(g[h])*")
+	ref := Simplify(MustCompile(q)).String()
+	for i := 0; i < 10; i++ {
+		if got := Simplify(MustCompile(q)).String(); got != ref {
+			t.Fatalf("run %d produced a different automaton:\n%s\nvs\n%s", i, got, ref)
+		}
+	}
+}

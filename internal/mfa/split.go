@@ -1,0 +1,117 @@
+package mfa
+
+// The split property of §4: Theorem 4.1 equates Xreg queries with the
+// class of MFAs whose AFAs are "split" — boolean structure may be nested
+// and paths may cycle (Kleene stars), but cycles carry at most one
+// alternation branch, so the automaton never demands two intertwined
+// recursive obligations at once. Operationally this is exactly the class
+// ToXreg can turn back into a query:
+//
+//   - no FINAL state lies on a cycle,
+//   - no NOT state lies on a cycle,
+//   - an AND state on a cycle has at most one operand on that cycle.
+//
+// Every automaton produced by Compile and Rewrite has the property by
+// construction; hand-built MFAs can be checked with HasSplitProperty.
+
+// HasSplitProperty reports whether every AFA of the MFA satisfies the
+// split property, i.e. the MFA denotes an Xreg query (Theorem 4.1) and
+// ToXreg can extract one (budget permitting).
+func HasSplitProperty(m *MFA) bool {
+	for _, a := range m.AFAs {
+		if !afaIsSplit(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// afaIsSplit checks the split property on one AFA's full edge graph
+// (Kids edges of every state, including TRANS descents).
+func afaIsSplit(a *AFA) bool {
+	n := len(a.States)
+	// Tarjan SCCs over the full graph.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	sccID := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		sccID[i] = -1
+	}
+	var stack []int
+	next, comps := 0, 0
+	sccSize := []int{}
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range a.States[v].Kids {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			size := 0
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccID[w] = comps
+				size++
+				if w == v {
+					break
+				}
+			}
+			sccSize = append(sccSize, size)
+			comps++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	onCycle := func(s int) bool {
+		if sccSize[sccID[s]] > 1 {
+			return true
+		}
+		for _, k := range a.States[s].Kids {
+			if k == s {
+				return true
+			}
+		}
+		return false
+	}
+	for s := 0; s < n; s++ {
+		if !onCycle(s) {
+			continue
+		}
+		st := &a.States[s]
+		switch st.Kind {
+		case AFAFinal, AFANot:
+			return false
+		case AFAAnd:
+			cyclicKids := 0
+			for _, k := range st.Kids {
+				if sccID[k] == sccID[s] {
+					cyclicKids++
+				}
+			}
+			if cyclicKids > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

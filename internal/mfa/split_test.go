@@ -1,0 +1,63 @@
+package mfa
+
+import (
+	"testing"
+
+	"smoqe/internal/xpath"
+)
+
+func TestCompiledMFAsHaveSplitProperty(t *testing.T) {
+	for _, src := range []string{
+		"a[b]",
+		"(a/b)*/c[(d/e)*/f/text()='v']",
+		"a[not(b) and (c or d)]",
+		"a[b[c[(d)*/e]]]",
+	} {
+		m := MustCompile(xpath.MustParse(src))
+		if !HasSplitProperty(m) {
+			t.Errorf("compiled %q lacks the split property", src)
+		}
+	}
+}
+
+func TestSplitPropertyViolations(t *testing.T) {
+	// AND with both operands on one cycle: X = And(Y, Z); Y = Or(X, f);
+	// Z = Or(X, f).
+	a := &AFA{Start: 0}
+	a.States = []AFAState{
+		{Kind: AFAAnd, Kids: []int{1, 2}},
+		{Kind: AFAOr, Kids: []int{0, 3}},
+		{Kind: AFAOr, Kids: []int{0, 3}},
+		{Kind: AFAFinal},
+	}
+	if err := a.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	m := &MFA{States: []NFAState{{Guard: 0, GuardStart: -1, Final: true}}, Start: 0, AFAs: []*AFA{a}}
+	if HasSplitProperty(m) {
+		t.Error("AND with two cyclic operands must violate the split property")
+	}
+	// ToXreg agrees: it cannot extract this automaton.
+	if _, err := ToXreg(m, 1<<20); err == nil {
+		t.Error("ToXreg should fail on a non-split automaton")
+	}
+
+	// A single-operand-on-cycle AND is fine.
+	b := &AFA{Start: 0}
+	b.States = []AFAState{
+		{Kind: AFAAnd, Kids: []int{1, 3}},
+		{Kind: AFAOr, Kids: []int{2, 3}},
+		{Kind: AFATrans, Label: "x", Kids: []int{0}},
+		{Kind: AFAFinal},
+	}
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &MFA{States: []NFAState{{Guard: 0, GuardStart: -1, Final: true}}, Start: 0, AFAs: []*AFA{b}}
+	if !HasSplitProperty(m2) {
+		t.Error("single cyclic AND operand satisfies the split property")
+	}
+	if _, err := ToXreg(m2, 1<<20); err != nil {
+		t.Errorf("ToXreg should handle the split automaton: %v", err)
+	}
+}

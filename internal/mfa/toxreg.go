@@ -1,0 +1,630 @@
+package mfa
+
+// Extraction of explicit Xreg queries from MFAs — the converse direction
+// of Theorem 4.1 ("for any MFA with the split property there exists an
+// equivalent Xreg query"). The construction is classical state elimination
+// (GNFA) on the selecting NFA with Xreg paths as edge labels, preceded by
+// Gaussian elimination with Arden's lemma on each guard AFA to turn it
+// into an Xreg filter.
+//
+// The output can be exponentially larger than the MFA — that is exactly
+// Corollary 3.3's lower bound and the reason SMOQE evaluates MFAs directly
+// instead of extracting queries. Extraction therefore takes a size budget
+// and fails cleanly when the query under construction exceeds it; the
+// benchfig -blowup experiment uses this to exhibit the blow-up that the
+// MFA representation avoids.
+
+import (
+	"fmt"
+	"sort"
+
+	"smoqe/internal/xpath"
+)
+
+// ErrBudget is returned (wrapped) when the extracted query exceeds the
+// size budget.
+var ErrBudget = fmt.Errorf("mfa: extracted query exceeds the size budget (Corollary 3.3 blow-up)")
+
+// ToXreg extracts an Xreg query equivalent to the MFA. budget bounds the
+// AST size of intermediate results (0 means a permissive default); the
+// extraction fails with ErrBudget beyond it.
+func ToXreg(m *MFA, budget int) (xpath.Path, error) {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	x := &extractor{m: m, budget: budget, preds: make(map[[2]int]xpath.Pred)}
+	return x.selectingPath()
+}
+
+type extractor struct {
+	m      *MFA
+	budget int
+	// preds memoizes extracted guard predicates per (afa, entry state).
+	preds map[[2]int]xpath.Pred
+}
+
+func (x *extractor) check(size int) error {
+	if size > x.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Selecting NFA → Xreg path via GNFA state elimination.
+
+// gnfa edges hold Xreg paths; nil means no edge.
+type gnfa struct {
+	n     int // states 0..n-1 are NFA states; n is the unique final
+	edges map[[2]int]xpath.Path
+}
+
+func (g *gnfa) get(i, j int) xpath.Path { return g.edges[[2]int{i, j}] }
+
+func (g *gnfa) union(i, j int, p xpath.Path) {
+	if old := g.get(i, j); old != nil {
+		p = &xpath.Union{Left: old, Right: p}
+	}
+	g.edges[[2]int{i, j}] = p
+}
+
+func (x *extractor) selectingPath() (xpath.Path, error) {
+	m := x.m
+	n := len(m.States)
+	g := &gnfa{n: n, edges: make(map[[2]int]xpath.Path)}
+
+	// guardSuffix returns the path step that enforces a state's guard at
+	// the node where the run occupies it (ε-filter), or nil.
+	guardSuffix := func(s int) (xpath.Path, error) {
+		st := &m.States[s]
+		if st.Guard < 0 {
+			return nil, nil
+		}
+		p, err := x.predOf(st.Guard, m.GuardEntry(s))
+		if err != nil {
+			return nil, err
+		}
+		return &xpath.Filter{Path: xpath.Empty{}, Cond: p}, nil
+	}
+
+	for s := 0; s < n; s++ {
+		st := &m.States[s]
+		for _, t := range st.Eps {
+			suffix, err := guardSuffix(t)
+			if err != nil {
+				return nil, err
+			}
+			var p xpath.Path = xpath.Empty{}
+			if suffix != nil {
+				p = suffix
+			}
+			g.union(s, t, p)
+		}
+		for _, e := range st.Trans {
+			var step xpath.Path
+			if e.Wild {
+				step = xpath.Wildcard{}
+			} else {
+				step = &xpath.Label{Name: e.Label}
+			}
+			suffix, err := guardSuffix(e.To)
+			if err != nil {
+				return nil, err
+			}
+			if suffix != nil {
+				step = &xpath.Seq{Left: step, Right: suffix}
+			}
+			g.union(s, e.To, step)
+		}
+		if st.Final {
+			g.union(s, n, xpath.Empty{})
+		}
+	}
+
+	// The start state's own guard applies at the context node.
+	startPrefix, err := guardSuffix(m.Start)
+	if err != nil {
+		return nil, err
+	}
+
+	// Eliminate every state except start and the artificial final, in a
+	// deterministic order.
+	for s := 0; s < n; s++ {
+		if s == m.Start {
+			continue
+		}
+		if err := x.eliminate(g, s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Remaining edges: start→final, possibly via a start self-loop.
+	direct := g.get(m.Start, g.n)
+	if direct == nil {
+		// The automaton accepts nothing: a query with an empty result on
+		// every document, e.g. a child step that matches no label. Use a
+		// filter that never holds.
+		return &xpath.Filter{Path: xpath.Empty{}, Cond: &xpath.Not{Sub: &xpath.Exists{Path: xpath.Empty{}}}}, nil
+	}
+	if loop := g.get(m.Start, m.Start); loop != nil {
+		direct = &xpath.Seq{Left: &xpath.Star{Sub: loop}, Right: direct}
+	}
+	if startPrefix != nil {
+		direct = &xpath.Seq{Left: startPrefix, Right: direct}
+	}
+	if err := x.check(direct.Size()); err != nil {
+		return nil, err
+	}
+	return simplifyPath(direct), nil
+}
+
+// eliminate removes state s from the GNFA, rerouting paths through it.
+func (x *extractor) eliminate(g *gnfa, s int) error {
+	loop := g.get(s, s)
+	delete(g.edges, [2]int{s, s})
+	var ins, outs [][2]int
+	for key := range g.edges {
+		if key[1] == s && key[0] != s {
+			ins = append(ins, key)
+		}
+		if key[0] == s && key[1] != s {
+			outs = append(outs, key)
+		}
+	}
+	sort.Slice(ins, func(a, b int) bool { return ins[a][0] < ins[b][0] })
+	sort.Slice(outs, func(a, b int) bool { return outs[a][1] < outs[b][1] })
+	for _, in := range ins {
+		for _, out := range outs {
+			p := g.edges[in]
+			if loop != nil {
+				p = &xpath.Seq{Left: p, Right: &xpath.Star{Sub: loop}}
+			}
+			p = &xpath.Seq{Left: p, Right: g.edges[out]}
+			if err := x.check(p.Size()); err != nil {
+				return err
+			}
+			g.union(in[0], out[1], p)
+			if err := x.check(g.get(in[0], out[1]).Size()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, in := range ins {
+		delete(g.edges, in)
+	}
+	for _, out := range outs {
+		delete(g.edges, out)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// AFA → Xreg predicate via Gaussian elimination with Arden's lemma.
+//
+// Each AFA state denotes a boolean-valued function of a node. States form
+// equations X_i = ⋁_j π_ij/X_j ∨ C_i, where π_ij is an Xreg path prefix
+// (a child step for TRANS states, a guarded ε for AND states with one
+// operand on a cycle) and C_i a constant predicate. Cycles never pass
+// through NOT (guaranteed by Freeze plus construction), so the system is
+// linear and Arden's lemma (X = A/X ∨ B ⇒ X = A*/B) solves it.
+
+// term is one disjunct of a variable's equation.
+type term struct {
+	path xpath.Path // prefix; nil means ε with no filter
+	via  int        // SCC-internal variable index, or -1 for a constant
+	c    xpath.Pred // the constant (when via == -1)
+}
+
+func (x *extractor) predOf(afaIdx, entry int) (xpath.Pred, error) {
+	if p, ok := x.preds[[2]int{afaIdx, entry}]; ok {
+		return p, nil
+	}
+	a := x.m.AFAs[afaIdx]
+	solver := &afaSolver{x: x, a: a, memo: make(map[int]xpath.Pred)}
+	p, err := solver.solve(entry)
+	if err != nil {
+		return nil, err
+	}
+	x.preds[[2]int{afaIdx, entry}] = p
+	return p, nil
+}
+
+type afaSolver struct {
+	x    *extractor
+	a    *AFA
+	memo map[int]xpath.Pred
+	// scc machinery over the FULL edge graph (Kids incl. TRANS).
+	sccID   []int
+	sccList [][]int
+}
+
+func (sv *afaSolver) ensureSCCs() {
+	if sv.sccID != nil {
+		return
+	}
+	n := len(sv.a.States)
+	sv.sccID = make([]int, n)
+	for i := range sv.sccID {
+		sv.sccID[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sv.a.States[v].Kids {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			id := len(sv.sccList)
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sv.sccID[w] = id
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sv.sccList = append(sv.sccList, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+}
+
+// solve returns the predicate denoted by AFA state s.
+func (sv *afaSolver) solve(s int) (xpath.Pred, error) {
+	if p, ok := sv.memo[s]; ok {
+		return p, nil
+	}
+	sv.ensureSCCs()
+	comp := sv.sccList[sv.sccID[s]]
+	cyclic := len(comp) > 1
+	if !cyclic {
+		for _, k := range sv.a.States[s].Kids {
+			if k == s {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		p, err := sv.solveAcyclic(s)
+		if err != nil {
+			return nil, err
+		}
+		sv.memo[s] = p
+		return p, nil
+	}
+	if err := sv.solveSCC(comp); err != nil {
+		return nil, err
+	}
+	return sv.memo[s], nil
+}
+
+// solveAcyclic handles a state whose children are all in lower SCCs.
+func (sv *afaSolver) solveAcyclic(s int) (xpath.Pred, error) {
+	st := &sv.a.States[s]
+	switch st.Kind {
+	case AFAFinal:
+		return predConst(st.Pred), nil
+	case AFATrans:
+		kid, err := sv.solve(st.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return &xpath.Exists{Path: &xpath.Filter{Path: stepOf(st), Cond: kid}}, nil
+	case AFANot:
+		kid, err := sv.solve(st.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		return &xpath.Not{Sub: kid}, nil
+	case AFAAnd:
+		return sv.fold(st.Kids, func(l, r xpath.Pred) xpath.Pred { return &xpath.And{Left: l, Right: r} }, true)
+	case AFAOr:
+		return sv.fold(st.Kids, func(l, r xpath.Pred) xpath.Pred { return &xpath.Or{Left: l, Right: r} }, false)
+	default:
+		return nil, fmt.Errorf("mfa: unknown AFA state kind")
+	}
+}
+
+func (sv *afaSolver) fold(kids []int, combine func(l, r xpath.Pred) xpath.Pred, neutral bool) (xpath.Pred, error) {
+	if len(kids) == 0 {
+		if neutral { // AND of nothing
+			return trueConst(), nil
+		}
+		return falseConst(), nil // OR of nothing
+	}
+	out, err := sv.solve(kids[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kids[1:] {
+		p, err := sv.solve(k)
+		if err != nil {
+			return nil, err
+		}
+		out = combine(out, p)
+		if err := sv.x.check(out.Size()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// solveSCC sets memo for every state of a cyclic component by Gaussian
+// elimination with Arden's lemma.
+func (sv *afaSolver) solveSCC(comp []int) error {
+	pos := make(map[int]int, len(comp))
+	for i, s := range comp {
+		pos[s] = i
+	}
+	// eqs[i] = list of terms for comp[i].
+	eqs := make([][]term, len(comp))
+	for i, s := range comp {
+		st := &sv.a.States[s]
+		switch st.Kind {
+		case AFAOr:
+			for _, k := range st.Kids {
+				if j, in := pos[k]; in {
+					eqs[i] = append(eqs[i], term{path: nil, via: j})
+					continue
+				}
+				c, err := sv.solve(k)
+				if err != nil {
+					return err
+				}
+				eqs[i] = append(eqs[i], term{via: -1, c: c})
+			}
+		case AFAAnd:
+			// At most one operand may lie on the cycle (the Freeze
+			// invariant plus the compilers' structure guarantee it); the
+			// remaining operands become an ε-filter prefix.
+			inIdx := -1
+			var guards []xpath.Pred
+			for _, k := range st.Kids {
+				if j, in := pos[k]; in {
+					if inIdx >= 0 {
+						return fmt.Errorf("mfa: AND with two operands on a cycle is not extractable")
+					}
+					inIdx = j
+					continue
+				}
+				g, err := sv.solve(k)
+				if err != nil {
+					return err
+				}
+				guards = append(guards, g)
+			}
+			if inIdx < 0 {
+				return fmt.Errorf("mfa: internal: cyclic AND without cyclic operand")
+			}
+			var guard xpath.Pred
+			for _, g := range guards {
+				if guard == nil {
+					guard = g
+				} else {
+					guard = &xpath.And{Left: guard, Right: g}
+				}
+			}
+			var prefix xpath.Path
+			if guard != nil {
+				prefix = &xpath.Filter{Path: xpath.Empty{}, Cond: guard}
+			}
+			eqs[i] = append(eqs[i], term{path: prefix, via: inIdx})
+		case AFATrans:
+			k := st.Kids[0]
+			if j, in := pos[k]; in {
+				eqs[i] = append(eqs[i], term{path: stepOf(st), via: j})
+			} else {
+				c, err := sv.solve(k)
+				if err != nil {
+					return err
+				}
+				eqs[i] = append(eqs[i], term{via: -1, c: &xpath.Exists{Path: &xpath.Filter{Path: stepOf(st), Cond: c}}})
+			}
+		case AFANot:
+			return fmt.Errorf("mfa: NOT on a cycle is not extractable")
+		case AFAFinal:
+			return fmt.Errorf("mfa: internal: FINAL cannot lie on a cycle")
+		}
+	}
+
+	// Gaussian elimination: repeatedly resolve the last variable.
+	for v := len(comp) - 1; v >= 0; v-- {
+		// Arden on variable v: X_v = A/X_v ∨ rest ⇒ X_v = A*/rest.
+		var selfPaths xpath.Path
+		var rest []term
+		for _, tm := range eqs[v] {
+			if tm.via == v {
+				p := tm.path
+				if p == nil {
+					// ε self-loop contributes nothing (X = X ∨ …).
+					continue
+				}
+				if selfPaths == nil {
+					selfPaths = p
+				} else {
+					selfPaths = &xpath.Union{Left: selfPaths, Right: p}
+				}
+				continue
+			}
+			rest = append(rest, tm)
+		}
+		if selfPaths != nil {
+			star := &xpath.Star{Sub: selfPaths}
+			for i := range rest {
+				rest[i] = prefixTerm(star, rest[i])
+			}
+		}
+		eqs[v] = rest
+		// Substitute X_v into equations of lower variables.
+		for u := 0; u < v; u++ {
+			var out []term
+			for _, tm := range eqs[u] {
+				if tm.via != v {
+					out = append(out, tm)
+					continue
+				}
+				for _, sub := range eqs[v] {
+					nt := prefixTerm(tm.path, sub)
+					if err := sv.x.check(termSize(nt)); err != nil {
+						return err
+					}
+					out = append(out, nt)
+				}
+			}
+			eqs[u] = out
+		}
+	}
+
+	// Back-substitute: all equations are now constant-only for variable 0;
+	// resolve upward.
+	resolved := make([]xpath.Pred, len(comp))
+	for v := 0; v < len(comp); v++ {
+		var p xpath.Pred
+		for _, tm := range eqs[v] {
+			var c xpath.Pred
+			if tm.via >= 0 {
+				if resolved[tm.via] == nil {
+					return fmt.Errorf("mfa: internal: unresolved variable order in SCC")
+				}
+				c = applyPrefix(tm.path, resolved[tm.via])
+			} else {
+				c = applyPrefix(tm.path, tm.c)
+			}
+			if p == nil {
+				p = c
+			} else {
+				p = &xpath.Or{Left: p, Right: c}
+			}
+			if err := sv.x.check(p.Size()); err != nil {
+				return err
+			}
+		}
+		if p == nil {
+			p = falseConst()
+		}
+		resolved[v] = p
+		sv.memo[comp[v]] = p
+	}
+	return nil
+}
+
+// prefixTerm prepends path p to a term's prefix.
+func prefixTerm(p xpath.Path, tm term) term {
+	if p == nil {
+		return tm
+	}
+	if tm.path == nil {
+		return term{path: p, via: tm.via, c: tm.c}
+	}
+	return term{path: &xpath.Seq{Left: p, Right: tm.path}, via: tm.via, c: tm.c}
+}
+
+// termSize is the AST size of a term for budget checks.
+func termSize(tm term) int {
+	n := 0
+	if tm.path != nil {
+		n += tm.path.Size()
+	}
+	if tm.c != nil {
+		n += tm.c.Size()
+	}
+	return n
+}
+
+// applyPrefix turns "∃ node via p where c holds" into a predicate; a nil
+// path means c itself.
+func applyPrefix(p xpath.Path, c xpath.Pred) xpath.Pred {
+	if p == nil {
+		return c
+	}
+	return &xpath.Exists{Path: &xpath.Filter{Path: p, Cond: c}}
+}
+
+func stepOf(st *AFAState) xpath.Path {
+	if st.Wild {
+		return xpath.Wildcard{}
+	}
+	return &xpath.Label{Name: st.Label}
+}
+
+func predConst(p Pred) xpath.Pred {
+	switch p.Kind {
+	case PredText:
+		return &xpath.TextEq{Path: xpath.Empty{}, Value: p.Text}
+	case PredPos:
+		return &xpath.PosEq{Path: xpath.Empty{}, K: p.K}
+	default:
+		return trueConst()
+	}
+}
+
+// trueConst is a predicate that always holds ('.' always selects a node).
+func trueConst() xpath.Pred { return &xpath.Exists{Path: xpath.Empty{}} }
+
+// falseConst is a predicate that never holds.
+func falseConst() xpath.Pred { return &xpath.Not{Sub: trueConst()} }
+
+// simplifyPath applies cheap local algebraic simplifications to the
+// extracted query (ε is a unit for '/', single-branch unions stay).
+func simplifyPath(p xpath.Path) xpath.Path {
+	switch t := p.(type) {
+	case *xpath.Seq:
+		l := simplifyPath(t.Left)
+		r := simplifyPath(t.Right)
+		if _, ok := l.(xpath.Empty); ok {
+			return r
+		}
+		if _, ok := r.(xpath.Empty); ok {
+			return l
+		}
+		return &xpath.Seq{Left: l, Right: r}
+	case *xpath.Union:
+		l := simplifyPath(t.Left)
+		r := simplifyPath(t.Right)
+		if xpath.Equal(l, r) {
+			return l
+		}
+		return &xpath.Union{Left: l, Right: r}
+	case *xpath.Star:
+		sub := simplifyPath(t.Sub)
+		if _, ok := sub.(xpath.Empty); ok {
+			return xpath.Empty{}
+		}
+		return &xpath.Star{Sub: sub}
+	case *xpath.Filter:
+		return &xpath.Filter{Path: simplifyPath(t.Path), Cond: t.Cond}
+	default:
+		return p
+	}
+}

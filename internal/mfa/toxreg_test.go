@@ -1,0 +1,129 @@
+package mfa
+
+import (
+	"errors"
+	"testing"
+
+	"smoqe/internal/refeval"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+func extractDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<hospital>
+  <patient>
+    <parent><patient><record><diagnosis>heart disease</diagnosis></record></patient></parent>
+    <record><diagnosis>flu</diagnosis></record>
+    <record><empty/></record>
+  </patient>
+  <patient><record><diagnosis>heart disease</diagnosis></record></patient>
+</hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestToXregRoundTrip: compile → extract → evaluate must agree with the
+// original query on documents, for queries covering every construct.
+func TestToXregRoundTrip(t *testing.T) {
+	doc := extractDoc(t)
+	queries := []string{
+		".",
+		"patient",
+		"patient/record",
+		"*",
+		"**",
+		"patient | patient/parent",
+		"(patient/parent)*",
+		"(patient/parent)*/patient",
+		"patient[record]",
+		"patient[record/diagnosis/text()='heart disease']",
+		"patient[not(parent)]",
+		"patient[parent and record]",
+		"patient[parent or record]",
+		"patient[(parent/patient)*/record/diagnosis/text()='heart disease']",
+		"(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']",
+		"patient[record[diagnosis[text()='flu']]]",
+		"patient[record/empty]",
+		"patient[record/position()=2]",
+		".[patient]",
+		"patient[not((parent/patient)*/record/empty)]",
+		"nosuchlabel",
+	}
+	for _, src := range queries {
+		q := xpath.MustParse(src)
+		m := MustCompile(q)
+		back, err := ToXreg(m, 1<<22)
+		if err != nil {
+			t.Errorf("ToXreg(%q): %v", src, err)
+			continue
+		}
+		want := refeval.Eval(q, doc.Root)
+		got := refeval.Eval(back, doc.Root)
+		if len(got) != len(want) {
+			t.Errorf("query %q: extracted %q returns %d nodes, want %d",
+				src, back, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("query %q: node %d differs (extracted: %s)", src, i, back)
+			}
+		}
+		// The extracted query reparses (syntax sanity).
+		if _, err := xpath.Parse(back.String()); err != nil {
+			t.Errorf("query %q: extracted query does not reparse: %v\n%s", src, err, back)
+		}
+	}
+}
+
+// TestToXregAtInteriorContexts evaluates extracted queries at non-root
+// contexts too.
+func TestToXregAtInteriorContexts(t *testing.T) {
+	doc := extractDoc(t)
+	p1 := doc.Root.ElementChildren()[0]
+	for _, src := range []string{"record", "(parent/patient)*", ".[record/empty]"} {
+		q := xpath.MustParse(src)
+		back, err := ToXreg(MustCompile(q), 1<<22)
+		if err != nil {
+			t.Fatalf("ToXreg(%q): %v", src, err)
+		}
+		want := refeval.Eval(q, p1)
+		got := refeval.Eval(back, p1)
+		if len(got) != len(want) {
+			t.Errorf("at %s: query %q: %d vs %d", p1.Path(), src, len(got), len(want))
+		}
+	}
+}
+
+// TestToXregBudget: a tiny budget must fail with ErrBudget on a query
+// whose extraction needs room.
+func TestToXregBudget(t *testing.T) {
+	q := xpath.MustParse("(a/b | c[d])*/e[(f/g)*/h/text()='v']")
+	m := MustCompile(q)
+	if _, err := ToXreg(m, 3); !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+	if _, err := ToXreg(m, 1<<22); err != nil {
+		t.Errorf("generous budget should succeed: %v", err)
+	}
+}
+
+// TestToXregEmptyAutomaton: an automaton with no accepting path extracts
+// to a query with an empty result everywhere.
+func TestToXregEmptyAutomaton(t *testing.T) {
+	b := NewBuilder()
+	s0 := b.NewState()
+	s1 := b.NewState()
+	m := b.FinishMulti(s0, []int{s1}) // final unreachable
+	q, err := ToXreg(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := extractDoc(t)
+	if got := refeval.Eval(q, doc.Root); len(got) != 0 {
+		t.Errorf("empty automaton extracted %q selecting %d nodes", q, len(got))
+	}
+}

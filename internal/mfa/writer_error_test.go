@@ -1,0 +1,45 @@
+package mfa
+
+import (
+	"errors"
+	"testing"
+
+	"smoqe/internal/xpath"
+)
+
+// failWriter fails after n bytes, exercising error propagation through the
+// buffered encoders.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errSink
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteBinaryError(t *testing.T) {
+	m := MustCompile(xpath.MustParse("a[b/text()='v']/(c/d)*"))
+	for _, budget := range []int{0, 1, 7, 64} {
+		if err := m.WriteBinary(&failWriter{n: budget}); err == nil {
+			t.Errorf("budget %d: want write error", budget)
+		}
+	}
+}
+
+func TestWriteDOTError(t *testing.T) {
+	m := MustCompile(xpath.MustParse("a[b]"))
+	for _, budget := range []int{0, 10, 100} {
+		if err := m.WriteDOT(&failWriter{n: budget}); err == nil {
+			t.Errorf("budget %d: want write error", budget)
+		}
+	}
+}

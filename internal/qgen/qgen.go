@@ -1,0 +1,176 @@
+// Package qgen generates random Xreg queries over a DTD for property-based
+// testing. Steps are biased to follow the DTD graph so that queries have a
+// real chance of selecting nodes, while stars, unions, filters, negations
+// and text tests exercise every construct of the fragment.
+package qgen
+
+import (
+	"math/rand"
+	"strings"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/xpath"
+)
+
+// Gen is a deterministic random query generator.
+type Gen struct {
+	d   *dtd.DTD
+	rng *rand.Rand
+	// Texts are candidate constants for text()='c' tests; they should
+	// include values that actually occur in the test documents.
+	Texts []string
+	// MaxDepth bounds the AST nesting of generated queries.
+	MaxDepth int
+}
+
+// New returns a generator over d seeded with seed.
+func New(d *dtd.DTD, seed int64, texts []string) *Gen {
+	if len(texts) == 0 {
+		texts = []string{"x"}
+	}
+	return &Gen{
+		d:        d,
+		rng:      rand.New(rand.NewSource(seed)),
+		Texts:    texts,
+		MaxDepth: 4,
+	}
+}
+
+// Query generates a random query anchored at the DTD's root type.
+func (g *Gen) Query() xpath.Path {
+	q, _ := g.path(map[string]bool{g.d.Root: true}, g.MaxDepth)
+	return q
+}
+
+// QueryString is Query rendered to the concrete syntax (handy for test
+// failure messages and for reparsing round-trips).
+func (g *Gen) QueryString() string { return g.Query().String() }
+
+// QueryFrom generates a random query anchored at the given context types
+// (used to generate view annotations, whose context is a specific source
+// type rather than the root).
+func (g *Gen) QueryFrom(types ...string) xpath.Path {
+	set := make(map[string]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	q, _ := g.path(set, g.MaxDepth)
+	return q
+}
+
+// typeSet helpers --------------------------------------------------------
+
+func (g *Gen) childrenOf(types map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for t := range types {
+		for _, c := range g.d.ChildTypes(t) {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic order for a given seed.
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// path generates a path evaluable at nodes of the given types and returns
+// it with an (approximate) set of exit types.
+func (g *Gen) path(types map[string]bool, depth int) (xpath.Path, map[string]bool) {
+	kids := g.childrenOf(types)
+	if depth <= 0 || len(kids) == 0 {
+		return g.step(types)
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2, 3: // sequence
+		l, lt := g.path(types, depth-1)
+		r, rt := g.path(lt, depth-1)
+		return &xpath.Seq{Left: l, Right: r}, rt
+	case 4: // union
+		l, lt := g.path(types, depth-1)
+		r, rt := g.path(types, depth-1)
+		return &xpath.Union{Left: l, Right: r}, union(lt, rt)
+	case 5: // star
+		sub, st := g.path(types, depth-1)
+		return &xpath.Star{Sub: sub}, union(types, st)
+	case 6, 7: // filter
+		p, pt := g.path(types, depth-1)
+		cond := g.pred(pt, depth-1)
+		return &xpath.Filter{Path: p, Cond: cond}, pt
+	default:
+		return g.step(types)
+	}
+}
+
+// step generates a primitive step.
+func (g *Gen) step(types map[string]bool) (xpath.Path, map[string]bool) {
+	kids := g.childrenOf(types)
+	switch {
+	case len(kids) == 0 || g.rng.Intn(8) == 0:
+		return xpath.Empty{}, types
+	case g.rng.Intn(6) == 0:
+		return xpath.Wildcard{}, kids
+	default:
+		name := pick(g.rng, keys(kids))
+		return &xpath.Label{Name: name}, map[string]bool{name: true}
+	}
+}
+
+// pred generates a filter predicate evaluable at the given types.
+func (g *Gen) pred(types map[string]bool, depth int) xpath.Pred {
+	if depth <= 0 {
+		return g.atomPred(types, 0)
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return &xpath.Not{Sub: g.pred(types, depth-1)}
+	case 1:
+		return &xpath.And{Left: g.pred(types, depth-1), Right: g.pred(types, depth-1)}
+	case 2:
+		return &xpath.Or{Left: g.pred(types, depth-1), Right: g.pred(types, depth-1)}
+	default:
+		return g.atomPred(types, depth-1)
+	}
+}
+
+func (g *Gen) atomPred(types map[string]bool, depth int) xpath.Pred {
+	p, pt := g.path(types, depth)
+	// Bias text tests toward #text exit types so they can match.
+	if g.rng.Intn(3) == 0 {
+		val := pick(g.rng, g.Texts)
+		// Avoid quoting headaches in printed queries.
+		val = strings.ReplaceAll(val, "'", "")
+		_ = pt
+		return &xpath.TextEq{Path: p, Value: val}
+	}
+	return &xpath.Exists{Path: p}
+}

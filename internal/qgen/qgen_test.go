@@ -1,0 +1,56 @@
+package qgen_test
+
+import (
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/mfa"
+	"smoqe/internal/qgen"
+	"smoqe/internal/xpath"
+)
+
+func TestGeneratedQueriesAreWellFormed(t *testing.T) {
+	g := qgen.New(hospital.DocDTD(), 7, []string{"heart disease", "flu"})
+	for i := 0; i < 300; i++ {
+		q := g.Query()
+		if q.Size() <= 0 {
+			t.Fatalf("query %d has nonpositive size", i)
+		}
+		// Printable and reparseable to the same surface form (printer
+		// fixpoint property).
+		s1 := q.String()
+		q2, err := xpath.Parse(s1)
+		if err != nil {
+			t.Fatalf("query %d: generated query does not reparse: %q: %v", i, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("query %d: printer not a fixpoint: %q -> %q", i, s1, s2)
+		}
+		// Compilable to an MFA.
+		if _, err := mfa.Compile(q); err != nil {
+			t.Fatalf("query %d: does not compile: %q: %v", i, s1, err)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := qgen.New(hospital.ViewDTD(), 42, []string{"x"})
+	b := qgen.New(hospital.ViewDTD(), 42, []string{"x"})
+	for i := 0; i < 50; i++ {
+		if a.QueryString() != b.QueryString() {
+			t.Fatal("same seed must generate the same query sequence")
+		}
+	}
+	c := qgen.New(hospital.ViewDTD(), 43, []string{"x"})
+	different := false
+	d := qgen.New(hospital.ViewDTD(), 42, []string{"x"})
+	for i := 0; i < 50; i++ {
+		if c.QueryString() != d.QueryString() {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Error("different seeds should diverge")
+	}
+}

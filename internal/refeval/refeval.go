@@ -1,0 +1,169 @@
+// Package refeval is the reference evaluator for Xreg queries: a direct
+// implementation of the set semantics of §2.1 with a frontier-based
+// fixpoint for Kleene closure. Its simplicity makes it the correctness
+// oracle for the MFA/HyPE engines. (The deliberately naive evaluator that
+// stands in for the paper's Galax/XQuery-translation baseline lives in
+// package xqsim.)
+package refeval
+
+import (
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+// Eval returns ctx[[q]]: the set of nodes reachable from ctx via q, in
+// document order without duplicates. Only element nodes are returned (the
+// fragment has no text()-step; text is reached through predicates).
+func Eval(q xpath.Path, ctx *xmltree.Node) []*xmltree.Node {
+	e := &evaluator{}
+	set := e.path(q, singleton(ctx))
+	return set.sorted()
+}
+
+// EvalAll evaluates q at every context node in ctxs and returns the union
+// of the results in document order.
+func EvalAll(q xpath.Path, ctxs []*xmltree.Node) []*xmltree.Node {
+	e := &evaluator{}
+	in := newNodeSet()
+	for _, c := range ctxs {
+		in.add(c)
+	}
+	return e.path(q, in).sorted()
+}
+
+// Holds reports whether predicate p holds at node ctx.
+func Holds(p xpath.Pred, ctx *xmltree.Node) bool {
+	e := &evaluator{}
+	return e.pred(p, ctx)
+}
+
+type evaluator struct{}
+
+// nodeSet is a set of element nodes keyed by identity.
+type nodeSet struct {
+	m map[*xmltree.Node]struct{}
+}
+
+func newNodeSet() *nodeSet { return &nodeSet{m: make(map[*xmltree.Node]struct{})} }
+
+func singleton(n *xmltree.Node) *nodeSet {
+	s := newNodeSet()
+	s.add(n)
+	return s
+}
+
+func (s *nodeSet) add(n *xmltree.Node) bool {
+	if _, ok := s.m[n]; ok {
+		return false
+	}
+	s.m[n] = struct{}{}
+	return true
+}
+
+func (s *nodeSet) union(o *nodeSet) {
+	for n := range o.m {
+		s.add(n)
+	}
+}
+
+func (s *nodeSet) size() int { return len(s.m) }
+
+func (s *nodeSet) sorted() []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(s.m))
+	for n := range s.m {
+		out = append(out, n)
+	}
+	return xmltree.SortNodes(out)
+}
+
+// path computes the image of the input set under q.
+func (e *evaluator) path(q xpath.Path, in *nodeSet) *nodeSet {
+	switch t := q.(type) {
+	case xpath.Empty:
+		out := newNodeSet()
+		out.union(in)
+		return out
+	case *xpath.Label:
+		out := newNodeSet()
+		for n := range in.m {
+			for _, c := range n.Children {
+				if c.Kind == xmltree.Element && c.Label == t.Name {
+					out.add(c)
+				}
+			}
+		}
+		return out
+	case xpath.Wildcard:
+		out := newNodeSet()
+		for n := range in.m {
+			for _, c := range n.Children {
+				if c.Kind == xmltree.Element {
+					out.add(c)
+				}
+			}
+		}
+		return out
+	case *xpath.Seq:
+		return e.path(t.Right, e.path(t.Left, in))
+	case *xpath.Union:
+		out := e.path(t.Left, in)
+		out.union(e.path(t.Right, in))
+		return out
+	case *xpath.Star:
+		// Least fixpoint: reachable via zero or more iterations of Sub.
+		out := newNodeSet()
+		out.union(in)
+		frontier := in
+		for frontier.size() > 0 {
+			next := e.path(t.Sub, frontier)
+			fresh := newNodeSet()
+			for n := range next.m {
+				if out.add(n) {
+					fresh.add(n)
+				}
+			}
+			frontier = fresh
+		}
+		return out
+	case *xpath.Filter:
+		mid := e.path(t.Path, in)
+		out := newNodeSet()
+		for n := range mid.m {
+			if e.pred(t.Cond, n) {
+				out.add(n)
+			}
+		}
+		return out
+	default:
+		panic("refeval: unknown path kind")
+	}
+}
+
+func (e *evaluator) pred(p xpath.Pred, ctx *xmltree.Node) bool {
+	switch t := p.(type) {
+	case *xpath.Exists:
+		return e.path(t.Path, singleton(ctx)).size() > 0
+	case *xpath.TextEq:
+		for n := range e.path(t.Path, singleton(ctx)).m {
+			if n.TextContent() == t.Value {
+				return true
+			}
+		}
+		return false
+	case *xpath.PosEq:
+		for n := range e.path(t.Path, singleton(ctx)).m {
+			if n.Pos == t.K {
+				return true
+			}
+		}
+		return false
+	case *xpath.Not:
+		return !e.pred(t.Sub, ctx)
+	case *xpath.And:
+		return e.pred(t.Left, ctx) && e.pred(t.Right, ctx)
+	case *xpath.Or:
+		return e.pred(t.Left, ctx) || e.pred(t.Right, ctx)
+	default:
+		panic("refeval: unknown predicate kind")
+	}
+}

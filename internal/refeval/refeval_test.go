@@ -1,0 +1,202 @@
+package refeval
+
+import (
+	"testing"
+
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+// doc builds the small genealogy tree used across tests:
+//
+//	hospital
+//	  patient            (id 1)
+//	    parent           (id 2)
+//	      patient        (id 3)
+//	        record       (id 4)  diagn "heart disease"
+//	    record           (id 7)  diagn "flu"
+//	  patient            (id 10)
+//	    record           (id 11) diagn "heart disease"
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<hospital>
+  <patient>
+    <parent>
+      <patient>
+        <record><diagnosis>heart disease</diagnosis></record>
+      </patient>
+    </parent>
+    <record><diagnosis>flu</diagnosis></record>
+  </patient>
+  <patient>
+    <record><diagnosis>heart disease</diagnosis></record>
+  </patient>
+</hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func eval(t *testing.T, q string, d *xmltree.Document) []*xmltree.Node {
+	t.Helper()
+	return Eval(xpath.MustParse(q), d.Root)
+}
+
+func labels(ns []*xmltree.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Label
+	}
+	return out
+}
+
+func TestChildAndWildcard(t *testing.T) {
+	d := doc(t)
+	if got := eval(t, "patient", d); len(got) != 2 {
+		t.Errorf("patient: %d results, want 2", len(got))
+	}
+	if got := eval(t, "*", d); len(got) != 2 {
+		t.Errorf("*: %d results, want 2", len(got))
+	}
+	if got := eval(t, "doctor", d); len(got) != 0 {
+		t.Errorf("doctor: %d results, want 0", len(got))
+	}
+}
+
+func TestSeqUnionEmpty(t *testing.T) {
+	d := doc(t)
+	if got := eval(t, "patient/record", d); len(got) != 2 {
+		t.Errorf("patient/record: %d, want 2", len(got))
+	}
+	if got := eval(t, ".", d); len(got) != 1 || got[0] != d.Root {
+		t.Errorf(". must return the context node")
+	}
+	if got := eval(t, "patient/record | patient/parent", d); len(got) != 3 {
+		t.Errorf("union: %d, want 3", len(got))
+	}
+	// Union dedup: both operands select the same nodes.
+	if got := eval(t, "patient | patient", d); len(got) != 2 {
+		t.Errorf("self-union: %d, want 2", len(got))
+	}
+}
+
+func TestStar(t *testing.T) {
+	d := doc(t)
+	// Zero iterations: context node included.
+	got := eval(t, "(patient/parent)*", d)
+	if len(got) != 2 { // hospital itself + the parent under first patient
+		t.Errorf("(patient/parent)*: %v, want 2 nodes", labels(got))
+	}
+	// Descendant-or-self: all element nodes.
+	all := eval(t, "**", d)
+	st := d.ComputeStats()
+	if len(all) != st.Elements {
+		t.Errorf("** selected %d of %d elements", len(all), st.Elements)
+	}
+	// a// b with // desugared.
+	if got := eval(t, "//diagnosis", d); len(got) != 3 {
+		t.Errorf("//diagnosis: %d, want 3", len(got))
+	}
+	// Star of Empty must terminate and be identity.
+	if got := eval(t, ".*", d); len(got) != 1 {
+		t.Errorf(".*: %d, want 1", len(got))
+	}
+}
+
+func TestFilters(t *testing.T) {
+	d := doc(t)
+	got := eval(t, "patient[record/diagnosis/text()='heart disease']", d)
+	if len(got) != 1 {
+		t.Fatalf("filter text: %d, want 1", len(got))
+	}
+	if got2 := eval(t, "patient[record]", d); len(got2) != 2 {
+		t.Errorf("patient[record]: %d, want 2", len(got2))
+	}
+	if got3 := eval(t, "patient[not(parent)]", d); len(got3) != 1 {
+		t.Errorf("patient[not(parent)]: %d, want 1", len(got3))
+	}
+	if got4 := eval(t, "patient[parent and record]", d); len(got4) != 1 {
+		t.Errorf("and: %d, want 1", len(got4))
+	}
+	if got5 := eval(t, "patient[parent or record]", d); len(got5) != 2 {
+		t.Errorf("or: %d, want 2", len(got5))
+	}
+	// Nested filter.
+	if got6 := eval(t, "patient[parent/patient[record/diagnosis/text()='heart disease']]", d); len(got6) != 1 {
+		t.Errorf("nested: %d, want 1", len(got6))
+	}
+	// Filter with star inside (the paper's ancestor pattern).
+	got7 := eval(t, "patient[(parent/patient)*/record/diagnosis/text()='heart disease']", d)
+	if len(got7) != 2 {
+		t.Errorf("star-in-filter: %d, want 2", len(got7))
+	}
+}
+
+func TestExample41Query(t *testing.T) {
+	d := doc(t)
+	// Q0 from Example 4.1: patients with an ancestor (at least one step up)
+	// diagnosed with heart disease... evaluated on the *view-shaped* tree.
+	q := "(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']"
+	got := eval(t, q, d)
+	// patient(1) has descendant-parent-chain patient(3) with heart disease;
+	// patient(3) itself has it; patient(10) has it directly.
+	if len(got) != 3 {
+		t.Errorf("Q0: got %d answers, want 3", len(got))
+	}
+}
+
+func TestPosEq(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b/><b/><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Eval(xpath.MustParse("b[position()=2]"), d.Root); len(got) != 1 || got[0].Pos != 2 {
+		t.Errorf("position()=2: %v", xmltree.IDsOf(got))
+	}
+	if got := Eval(xpath.MustParse("b[position()=3]"), d.Root); len(got) != 0 {
+		t.Errorf("no b at position 3: %v", xmltree.IDsOf(got))
+	}
+	p, err := xpath.ParsePred("c/position()=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Holds(p, d.Root) {
+		t.Error("c/position()=3 must hold at root")
+	}
+}
+
+func TestEvalAll(t *testing.T) {
+	d := doc(t)
+	pats := eval(t, "patient", d)
+	recs := EvalAll(xpath.MustParse("record"), pats)
+	if len(recs) != 2 {
+		t.Errorf("EvalAll: %d, want 2", len(recs))
+	}
+	if len(EvalAll(xpath.MustParse("record"), nil)) != 0 {
+		t.Error("EvalAll with no contexts must be empty")
+	}
+}
+
+func TestDocOrderAndDedup(t *testing.T) {
+	d := doc(t)
+	got := eval(t, "** | patient/record", d)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatalf("results not in document order at %d: %v", i, xmltree.IDsOf(got))
+		}
+	}
+}
+
+func TestTextContentMatchesWholeText(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b>heart</b><c>heart disease</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Eval(xpath.MustParse("b[text()='heart disease']"), d.Root); len(got) != 0 {
+		t.Error("partial text must not match")
+	}
+	if got := Eval(xpath.MustParse("c[text()='heart disease']"), d.Root); len(got) != 1 {
+		t.Error("exact text must match")
+	}
+}

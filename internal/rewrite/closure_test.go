@@ -1,0 +1,153 @@
+package rewrite
+
+// Demonstrations of the closure-property table (Fig. 2 of the paper).
+// Theorems cannot be proved by testing; these tests exhibit the phenomena
+// on concrete instances:
+//
+//	row 1: X → X over non-recursive views — closed (a concrete X query
+//	       rewrites to an X-expressible automaton and agrees with a
+//	       hand-written X rewriting);
+//	row 2: X → X over recursive views — NOT closed (every X-style '//'
+//	       rewriting of Example 1.1's query is wrong on some document:
+//	       the sibling-leak witness);
+//	rows 3–4: X/Xreg → Xreg over arbitrary views — closed (the MFA
+//	       rewriting is exact on every generated document, and MFAs are
+//	       Xreg-equivalent by Theorem 4.1).
+
+import (
+	"testing"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/hospital"
+	"smoqe/internal/mfa"
+	"smoqe/internal/refeval"
+	"smoqe/internal/view"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+// TestClosureNonRecursiveX (Fig. 2 row 1): over a non-recursive view, the
+// rewriting of an X query stays expressible in X — we exhibit the explicit
+// X rewriting and check it equals the automaton on documents.
+func TestClosureNonRecursiveX(t *testing.T) {
+	src := hospital.DocDTD()
+	tgt := dtd.MustParse(`dtd flat {
+		root hospital;
+		hospital -> case*;
+		case -> diag*;
+		diag -> #text;
+	}`)
+	v := view.MustParse(`view flat {
+		hospital/case = department/patient[visit];
+		case/diag = visit/treatment/medication/diagnosis;
+	}`, src, tgt)
+	if v.IsRecursive() {
+		t.Fatal("view must be non-recursive")
+	}
+	q := xpath.MustParse("case[diag/text()='heart disease']")
+	if !xpath.InFragmentX(q) {
+		t.Fatal("query must be in X")
+	}
+	// The hand rewriting, composed by substituting the annotations — in X.
+	hand := xpath.MustParse("department/patient[visit][visit/treatment/medication/diagnosis/text()='heart disease']")
+	if !xpath.InFragmentX(hand) {
+		t.Fatal("hand rewriting must be in X")
+	}
+	doc := hospital.SampleDocument()
+	want := refeval.Eval(hand, doc.Root)
+	got := mfa.Eval(MustRewrite(v, q), doc.Root)
+	if len(got) != len(want) {
+		t.Fatalf("X rewriting over non-recursive view: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("node %d differs", i)
+		}
+	}
+}
+
+// TestClosureRecursiveXFails (Fig. 2 row 2): over the recursive view σ0,
+// the natural X rewritings of Example 1.1's query are all wrong. We check
+// the two canonical candidates against the exact automaton on the
+// sibling-leak witness and on the sample document:
+//
+//   - keeping '//' at the source level over-selects (reaches siblings);
+//   - truncating the recursion to any fixed depth k under-selects on a
+//     chain of length k+1.
+func TestClosureRecursiveXFails(t *testing.T) {
+	v := hospital.Sigma0()
+	q := xpath.MustParse(hospital.QExample11)
+	m := MustRewrite(v, q)
+
+	// Candidate 1: '//' kept — over-selects via siblings (Example 1.1).
+	overQ := xpath.MustParse(
+		"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']" +
+			"[*//diagnosis/text()='heart disease']")
+	witness := sickSiblingDoc(t)
+	if got := refeval.Eval(overQ, witness.Root); len(got) != 1 {
+		t.Fatalf("'//' candidate should (wrongly) select Eve, got %d", len(got))
+	}
+	if got := mfa.Eval(m, witness.Root); len(got) != 0 {
+		t.Fatalf("exact rewriting must not select Eve, got %d", len(got))
+	}
+
+	// Candidate 2: unroll the view recursion k times — under-selects on a
+	// deeper ancestor chain. k=1 candidate:
+	underQ := xpath.MustParse(
+		"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']" +
+			"[parent/patient/visit/treatment/medication/diagnosis/text()='heart disease']")
+	deep := hospital.SampleDocument() // Alice's match is 2 levels up (Carol)
+	if got := refeval.Eval(underQ, deep.Root); len(got) != 0 {
+		t.Fatalf("depth-1 unrolling should miss Alice, got %d", len(got))
+	}
+	if got := mfa.Eval(m, deep.Root); len(got) != 1 {
+		t.Fatalf("exact rewriting must select Alice, got %d", len(got))
+	}
+}
+
+// TestClosureXregExact (Fig. 2 rows 3–4): the automaton rewriting of X and
+// Xreg queries is exact over the recursive view on multiple documents —
+// the constructive side of Theorem 3.2 (the MFA is Xreg-expressible by
+// Theorem 4.1). Exactness on generated corpora is covered exhaustively in
+// internal/crosscheck; here we pin the paper's own Example 3.1 rewriting.
+func TestClosureXregExact(t *testing.T) {
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	// Example 3.1: Q' = Q1[Q2/Q4/(Q2/Q4)*/Q3/Q6/text()='heart disease'].
+	q1 := "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']"
+	q2q4 := "parent/patient"
+	q3q6 := "visit/treatment/medication/diagnosis"
+	handXreg := xpath.MustParse(q1 + "[" + q2q4 + "/(" + q2q4 + ")*/" + q3q6 + "/text()='heart disease']")
+	if xpath.InFragmentX(handXreg) {
+		t.Fatal("Example 3.1's rewriting needs general Kleene star")
+	}
+	want := refeval.Eval(handXreg, doc.Root)
+	got := mfa.Eval(MustRewrite(v, xpath.MustParse(hospital.QExample11)), doc.Root)
+	if len(got) != len(want) {
+		t.Fatalf("Example 3.1 check: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("node %d differs", i)
+		}
+	}
+}
+
+func sickSiblingDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<hospital><department><name>d</name>
+	 <patient><pname>Eve</pname><address><street>s</street><city>c</city><zip>z</zip></address>
+	  <sibling><patient><pname>Sib</pname><address><street>s</street><city>c</city><zip>z</zip></address>
+	   <visit><date>1</date><treatment><medication><type>t</type><diagnosis>heart disease</diagnosis></medication></treatment>
+	   <doctor><dname>dr</dname><specialty>sp</specialty></doctor></visit></patient></sibling>
+	  <visit><date>2</date><treatment><medication><type>t</type><diagnosis>heart disease</diagnosis></medication></treatment>
+	  <doctor><dname>dr</dname><specialty>sp</specialty></doctor></visit>
+	 </patient></department></hospital>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hospital.DocDTD().CheckDocument(d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

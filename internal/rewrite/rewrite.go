@@ -1,0 +1,396 @@
+// Package rewrite implements Algorithm rewrite of §5 of the paper: given a
+// view definition σ : D → D_V and an Xreg query Q over the view DTD D_V, it
+// produces an MFA M over the source DTD D such that for every document T of
+// D, evaluating M on T yields exactly Q(σ(T)) — without materializing the
+// view.
+//
+// The construction is the dynamic-programming product the paper sketches
+// via rewr(Q', A): the query is first compiled into an automaton over the
+// view alphabet; every automaton state is then paired with the view element
+// types at which it can be reached, and every view child step (A —B→) is
+// replaced by a freshly spliced copy of the compiled annotation σ(A,B) over
+// the source. Filters are rewritten the same way inside one shared product
+// AFA per filter, whose per-type entry states the guarded NFA states point
+// at. The result has size O(|Q||σ||D_V|) (Theorem 5.1) and avoids the
+// exponential blow-up of a direct Xreg-to-Xreg rewriting (Corollary 3.3).
+package rewrite
+
+import (
+	"fmt"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/mfa"
+	"smoqe/internal/view"
+	"smoqe/internal/xpath"
+)
+
+// Rewrite translates query q over the view v.Target into an equivalent MFA
+// over documents of v.Source. The context of the rewritten automaton is the
+// source document root (which backs the view root).
+func Rewrite(v *view.View, q xpath.Path) (*mfa.MFA, error) {
+	if err := rejectPosition(q); err != nil {
+		return nil, err
+	}
+	viewM, err := mfa.Compile(q)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: compiling view query: %w", err)
+	}
+	m, err := RewriteMFA(v, viewM)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = fmt.Sprintf("rewr(%s, %s)", q, v.Name)
+	return m, nil
+}
+
+// RewriteMFA translates an MFA over the view v.Target into an equivalent
+// MFA over v.Source. Because the rewriting consumes and produces the same
+// representation, views compose: for a stack σ1 : D → D_V1, σ2 : D_V1 →
+// D_V2 and a query Q over D_V2,
+//
+//	RewriteMFA(σ1, Rewrite(σ2, Q))
+//
+// answers Q on the doubly-virtual view σ2(σ1(T)) directly on T. This
+// extends the paper's algorithm (which rewrites queries) to multi-level
+// view hierarchies without intermediate query extraction — extraction
+// would cost the exponential blow-up of Corollary 3.3.
+func RewriteMFA(v *view.View, viewM *mfa.MFA) (*mfa.MFA, error) {
+	if err := v.Check(); err != nil {
+		return nil, fmt.Errorf("rewrite: %w", err)
+	}
+	if err := viewM.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: input automaton: %w", err)
+	}
+	for _, a := range viewM.AFAs {
+		for i := range a.States {
+			st := &a.States[i]
+			if st.Kind == mfa.AFAFinal && st.Pred.Kind == mfa.PredPos {
+				return nil, fmt.Errorf("rewrite: position()=%d cannot be rewritten over a view", st.Pred.K)
+			}
+		}
+	}
+	r := &rewriter{
+		v:      v,
+		viewM:  viewM,
+		b:      mfa.NewBuilder(),
+		states: make(map[pkey]int),
+		afas:   make(map[int]*afaProduct),
+	}
+	start := r.state(pkey{viewM.Start, v.Target.Root})
+	for len(r.queue) > 0 {
+		k := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		if err := r.expand(k); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.finishAFAs(); err != nil {
+		return nil, err
+	}
+	m := r.b.FinishMulti(start, r.finals)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: internal: %w", err)
+	}
+	// The product construction leaves many administrative ε-states and
+	// dead branches (view edges the query can never take); collapsing
+	// them keeps the automaton lean without affecting Theorem 5.1.
+	m = mfa.Simplify(m)
+	m.Name = fmt.Sprintf("rewr(%s)", v.Name)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: simplification: %w", err)
+	}
+	return m, nil
+}
+
+// MustRewrite is Rewrite but panics on error.
+func MustRewrite(v *view.View, q xpath.Path) *mfa.MFA {
+	m, err := Rewrite(v, q)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// rejectPosition refuses position()=k tests in queries being rewritten: a
+// view node's sibling position is a property of the generated view, not of
+// any single source node, so it has no per-node source rewriting. (The
+// paper's AFAs admit position() for plain evaluation, which we support; its
+// rewriting is outside the paper's construction too.)
+func rejectPosition(q xpath.Path) error {
+	var perr func(xpath.Pred) error
+	var qerr func(xpath.Path) error
+	qerr = func(p xpath.Path) error {
+		switch t := p.(type) {
+		case *xpath.Seq:
+			if err := qerr(t.Left); err != nil {
+				return err
+			}
+			return qerr(t.Right)
+		case *xpath.Union:
+			if err := qerr(t.Left); err != nil {
+				return err
+			}
+			return qerr(t.Right)
+		case *xpath.Star:
+			return qerr(t.Sub)
+		case *xpath.Filter:
+			if err := qerr(t.Path); err != nil {
+				return err
+			}
+			return perr(t.Cond)
+		default:
+			return nil
+		}
+	}
+	perr = func(p xpath.Pred) error {
+		switch t := p.(type) {
+		case *xpath.PosEq:
+			return fmt.Errorf("rewrite: position()=%d cannot be rewritten over a view", t.K)
+		case *xpath.Exists:
+			return qerr(t.Path)
+		case *xpath.TextEq:
+			return qerr(t.Path)
+		case *xpath.Not:
+			return perr(t.Sub)
+		case *xpath.And:
+			if err := perr(t.Left); err != nil {
+				return err
+			}
+			return perr(t.Right)
+		case *xpath.Or:
+			if err := perr(t.Left); err != nil {
+				return err
+			}
+			return perr(t.Right)
+		default:
+			return nil
+		}
+	}
+	return qerr(q)
+}
+
+// pkey is a product state: view-automaton state s reached at a view node of
+// element type typ.
+type pkey struct {
+	s   int
+	typ string
+}
+
+type rewriter struct {
+	v      *view.View
+	viewM  *mfa.MFA
+	b      *mfa.Builder
+	states map[pkey]int
+	queue  []pkey
+	finals []int
+	// afas maps a view AFA index to its (lazily built) source product AFA.
+	afas map[int]*afaProduct
+}
+
+// state returns (allocating if needed) the source NFA state for a product
+// pair, wiring its final flag and guard.
+func (r *rewriter) state(k pkey) int {
+	if id, ok := r.states[k]; ok {
+		return id
+	}
+	id := r.b.NewState()
+	r.states[k] = id
+	r.queue = append(r.queue, k)
+	vs := r.viewM.States[k.s]
+	if vs.Final {
+		r.finals = append(r.finals, id)
+		// Batch automata carry result tags on final states; the product
+		// state answers for the same bucket.
+		r.b.SetTag(id, vs.Tag)
+	}
+	if vs.Guard >= 0 {
+		ap := r.afaProductFor(vs.Guard)
+		entry := ap.state(akey{r.viewM.GuardEntry(k.s), k.typ})
+		r.b.SetGuardAt(id, ap.index, entry)
+	}
+	return id
+}
+
+// expand wires the outgoing transitions of one product state.
+func (r *rewriter) expand(k pkey) error {
+	id := r.states[k]
+	vs := r.viewM.States[k.s]
+	for _, t := range vs.Eps {
+		r.b.AddEps(id, r.state(pkey{t, k.typ}))
+	}
+	if len(vs.Trans) == 0 {
+		return nil
+	}
+	for _, childType := range r.v.Target.ChildTypes(k.typ) {
+		// Collect the view states reachable by a childType step; they
+		// share one spliced copy of σ(A,B) (one entry state ⇒ safe).
+		var targets []int
+		for _, e := range vs.Trans {
+			if e.Matches(childType) {
+				targets = append(targets, e.To)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		ann := r.v.Query(k.typ, childType)
+		if ann == nil {
+			return fmt.Errorf("rewrite: view edge %s/%s has no annotation", k.typ, childType)
+		}
+		frag, err := r.b.CompilePath(ann)
+		if err != nil {
+			return fmt.Errorf("rewrite: compiling σ(%s,%s): %w", k.typ, childType, err)
+		}
+		r.b.AddEps(id, frag.Start)
+		for _, t := range targets {
+			r.b.AddEps(frag.End, r.state(pkey{t, childType}))
+		}
+	}
+	return nil
+}
+
+func (r *rewriter) afaProductFor(g int) *afaProduct {
+	if ap, ok := r.afas[g]; ok {
+		return ap
+	}
+	ap := &afaProduct{
+		r:      r,
+		va:     r.viewM.AFAs[g],
+		ab:     mfa.NewAFABuilder(),
+		states: make(map[akey]int),
+		index:  r.b.ReserveAFA(),
+	}
+	r.afas[g] = ap
+	return ap
+}
+
+// finishAFAs drains every product AFA's worklist, then freezes and
+// registers them.
+func (r *rewriter) finishAFAs() error {
+	// Draining one product may not create work in another (filters are
+	// compiled per view AFA), but iterate defensively until stable.
+	for {
+		progress := false
+		for _, ap := range r.afas {
+			for len(ap.queue) > 0 {
+				progress = true
+				k := ap.queue[len(ap.queue)-1]
+				ap.queue = ap.queue[:len(ap.queue)-1]
+				if err := ap.expand(k); err != nil {
+					return err
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for g, ap := range r.afas {
+		a, err := ap.ab.Finish(ap.anyStart)
+		if err != nil {
+			return fmt.Errorf("rewrite: product AFA for view filter X%d: %w", g, err)
+		}
+		r.b.SetReservedAFA(ap.index, a)
+	}
+	return nil
+}
+
+// akey is a product AFA state: view AFA state t at view type typ.
+type akey struct {
+	t   int
+	typ string
+}
+
+// afaProduct builds the source AFA for one view filter: the product of the
+// view filter's AFA with the view DTD types, with every view child step
+// replaced by the AFA compilation of the corresponding annotation σ(A,B).
+type afaProduct struct {
+	r        *rewriter
+	va       *mfa.AFA
+	ab       *mfa.AFABuilder
+	states   map[akey]int
+	queue    []akey
+	index    int // reserved slot in the MFA's AFA table
+	anyStart int // some allocated state; the AFA's nominal Start
+}
+
+// state returns (allocating if needed) the product state for (t, typ).
+func (ap *afaProduct) state(k akey) int {
+	if id, ok := ap.states[k]; ok {
+		return id
+	}
+	vs := ap.va.States[k.t]
+	var id int
+	switch vs.Kind {
+	case mfa.AFAFinal:
+		id = ap.finalState(vs, k.typ)
+	case mfa.AFATrans:
+		// Becomes an OR over the view child types the step matches;
+		// kids are wired in expand.
+		id = ap.ab.NewPlaceholder(mfa.AFAOr)
+	default:
+		id = ap.ab.NewPlaceholder(vs.Kind)
+	}
+	ap.states[k] = id
+	ap.anyStart = id
+	ap.queue = append(ap.queue, k)
+	return id
+}
+
+// finalState translates a view-filter final state at view type typ. Text
+// tests compare against the view node's text content, which is the source
+// node's text for #text view types and empty otherwise (§2.3 semantics of
+// the materializer).
+func (ap *afaProduct) finalState(vs mfa.AFAState, typ string) int {
+	switch vs.Pred.Kind {
+	case mfa.PredNone:
+		return ap.ab.NewFinal(mfa.Pred{})
+	case mfa.PredText:
+		prod, ok := ap.r.v.Target.Prods[typ]
+		if ok && prod.Kind == dtd.Str {
+			return ap.ab.NewFinal(mfa.Pred{Kind: mfa.PredText, Text: vs.Pred.Text})
+		}
+		if vs.Pred.Text == "" {
+			// Non-#text view nodes have empty text content.
+			return ap.ab.NewFinal(mfa.Pred{})
+		}
+		return ap.ab.NewPlaceholder(mfa.AFAOr) // empty OR ≡ false
+	default:
+		// position() is rejected up front; unreachable.
+		return ap.ab.NewPlaceholder(mfa.AFAOr)
+	}
+}
+
+// expand wires one product AFA state.
+func (ap *afaProduct) expand(k akey) error {
+	id := ap.states[k]
+	vs := ap.va.States[k.t]
+	switch vs.Kind {
+	case mfa.AFAFinal:
+		return nil
+	case mfa.AFATrans:
+		for _, childType := range ap.r.v.Target.ChildTypes(k.typ) {
+			if !vs.Wild && vs.Label != childType {
+				continue
+			}
+			ann := ap.r.v.Query(k.typ, childType)
+			if ann == nil {
+				return fmt.Errorf("rewrite: view edge %s/%s has no annotation", k.typ, childType)
+			}
+			target := ap.state(akey{vs.Kids[0], childType})
+			kid, err := ap.ab.CompilePathTo(ann, target)
+			if err != nil {
+				return fmt.Errorf("rewrite: compiling σ(%s,%s) in filter: %w", k.typ, childType, err)
+			}
+			ap.ab.AddKid(id, kid)
+		}
+		return nil
+	default: // AND / OR / NOT: same-type children.
+		kids := make([]int, 0, len(vs.Kids))
+		for _, t := range vs.Kids {
+			kids = append(kids, ap.state(akey{t, k.typ}))
+		}
+		ap.ab.SetKids(id, kids...)
+		return nil
+	}
+}

@@ -1,0 +1,135 @@
+package secview
+
+import (
+	"fmt"
+	"strings"
+
+	"smoqe/internal/xpath"
+)
+
+// ParsePolicy reads a policy in the textual format:
+//
+//	policy {
+//	  deny department, name, address;
+//	  deny doctor;
+//	  cond patient = visit/treatment/medication/diagnosis/text()='heart disease';
+//	  allow visit;   # the default; listed for documentation
+//	}
+//
+// "#" starts a line comment ("//" would be ambiguous with the descendant
+// axis inside cond filters). Unlisted types default to allow.
+func ParsePolicy(src string) (Policy, error) {
+	p := Policy{}
+	s := strings.TrimSpace(stripComments(strings.ReplaceAll(src, "\r\n", "\n")))
+	if !strings.HasPrefix(s, "policy") {
+		return nil, fmt.Errorf(`secview: expected keyword "policy"`)
+	}
+	s = strings.TrimSpace(strings.TrimPrefix(s, "policy"))
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("secview: expected policy body in braces")
+	}
+	body := s[1 : len(s)-1]
+	for _, stmt := range splitStatements(body) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(stmt, "deny "):
+			for _, t := range strings.Split(strings.TrimPrefix(stmt, "deny "), ",") {
+				t = strings.TrimSpace(t)
+				if t == "" {
+					return nil, fmt.Errorf("secview: empty type in deny list")
+				}
+				if _, dup := p[t]; dup {
+					return nil, fmt.Errorf("secview: type %q listed twice", t)
+				}
+				p[t] = Rule{Action: Deny}
+			}
+		case strings.HasPrefix(stmt, "allow "):
+			for _, t := range strings.Split(strings.TrimPrefix(stmt, "allow "), ",") {
+				t = strings.TrimSpace(t)
+				if t == "" {
+					return nil, fmt.Errorf("secview: empty type in allow list")
+				}
+				if _, dup := p[t]; dup {
+					return nil, fmt.Errorf("secview: type %q listed twice", t)
+				}
+				p[t] = Rule{Action: Allow}
+			}
+		case strings.HasPrefix(stmt, "cond "):
+			rest := strings.TrimPrefix(stmt, "cond ")
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("secview: cond needs \"type = filter\"")
+			}
+			t := strings.TrimSpace(rest[:eq])
+			if t == "" {
+				return nil, fmt.Errorf("secview: cond without a type")
+			}
+			if _, dup := p[t]; dup {
+				return nil, fmt.Errorf("secview: type %q listed twice", t)
+			}
+			cond, err := xpath.ParsePred(strings.TrimSpace(rest[eq+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("secview: cond %s: %w", t, err)
+			}
+			p[t] = Rule{Action: Cond, Filter: cond}
+		default:
+			return nil, fmt.Errorf("secview: unknown statement %q", stmt)
+		}
+	}
+	return p, nil
+}
+
+// stripComments removes # comments that are outside quoted strings.
+func stripComments(s string) string {
+	var b strings.Builder
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+			b.WriteByte(c)
+		case c == '\'' || c == '"':
+			quote = c
+			b.WriteByte(c)
+		case c == '#':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			if i < len(s) {
+				b.WriteByte('\n')
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// splitStatements splits on ';' outside quoted strings.
+func splitStatements(s string) []string {
+	var out []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ';':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

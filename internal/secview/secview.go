@@ -1,0 +1,279 @@
+// Package secview derives security views from access-control policies —
+// the module that produces the view definitions the paper's rewriting
+// machinery consumes. The paper's σ0 is such a view ("the server defines
+// an XML view for each group of users", §1, citing the security-view
+// framework of Fan, Chan and Garofalakis [9]); the SMOQE demo system pairs
+// this derivation with the rewriter and HyPE.
+//
+// A policy assigns each element type of the document DTD one of:
+//
+//	Allow      — the type is visible in the view;
+//	Deny       — the type is hidden, but its visible descendants are
+//	             promoted to the nearest visible ancestor (the view "walks
+//	             through" it);
+//	Cond(q)    — the type is visible only for elements satisfying the Xreg
+//	             filter q; elements failing q are hidden together with
+//	             their entire subtree.
+//
+// Derivation computes, for every pair of visible types (A, B), the regular
+// XPath expression of all DTD paths from A to B whose intermediate types
+// are all denied — Kleene stars appear exactly when denied types form
+// cycles, which is why security views over recursive DTDs need regular
+// XPath (the paper's opening observation). The derived view DTD gives each
+// visible type the starred sequence of its reachable visible child types
+// (cardinalities are erased, as in the security-view normal form).
+package secview
+
+import (
+	"fmt"
+	"sort"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/view"
+	"smoqe/internal/xpath"
+)
+
+// Action is the visibility class of an element type.
+type Action uint8
+
+const (
+	// Allow exposes the type.
+	Allow Action = iota
+	// Deny hides the type and promotes its visible descendants.
+	Deny
+	// Cond exposes elements of the type only when the policy's filter
+	// holds; failing elements hide their whole subtree.
+	Cond
+)
+
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Cond:
+		return "cond"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Rule is one policy entry.
+type Rule struct {
+	Action Action
+	// Filter is the visibility condition for Cond rules (an Xreg filter
+	// over the source, evaluated at the element).
+	Filter xpath.Pred
+}
+
+// Policy maps element types of the document DTD to rules. Types without an
+// entry default to Allow.
+type Policy map[string]Rule
+
+// Derive computes the security view for a policy over the document DTD d.
+// The DTD root must be visible.
+func Derive(d *dtd.DTD, p Policy) (*view.View, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("secview: %w", err)
+	}
+	ruleOf := func(t string) Rule {
+		if r, ok := p[t]; ok {
+			return r
+		}
+		return Rule{Action: Allow}
+	}
+	for t, r := range p {
+		if !d.HasType(t) {
+			return nil, fmt.Errorf("secview: policy names unknown type %q", t)
+		}
+		if r.Action == Cond && r.Filter == nil {
+			return nil, fmt.Errorf("secview: conditional rule for %q has no filter", t)
+		}
+	}
+	if ruleOf(d.Root).Action != Allow {
+		return nil, fmt.Errorf("secview: the root type %q must be allowed", d.Root)
+	}
+
+	reach := d.Reachable()
+	var visible, denied []string
+	for _, t := range d.Types() {
+		if !reach[t] {
+			continue
+		}
+		switch ruleOf(t).Action {
+		case Deny:
+			denied = append(denied, t)
+		default:
+			visible = append(visible, t)
+		}
+	}
+	sort.Strings(visible)
+	sort.Strings(denied)
+
+	// For every visible source type A, compute σ(A,B) for each visible B:
+	// the union of DTD paths from A to B through denied-only intermediate
+	// types, ending with the step B (filtered for Cond targets).
+	tgt := dtd.New(d.Name+"-view", d.Root)
+	v := &view.View{
+		Name:   "secview_" + d.Name,
+		Source: d,
+		Target: tgt,
+		Ann:    make(map[view.Edge]xpath.Path),
+	}
+	for _, a := range visible {
+		type edge struct {
+			child string
+			q     xpath.Path
+		}
+		var edges []edge
+		for _, b := range visible {
+			q := pathsThroughDenied(d, ruleOf, a, b, denied)
+			if q == nil {
+				continue
+			}
+			edges = append(edges, edge{b, q})
+		}
+		// View production: starred sequence of the reachable visible
+		// children; PCDATA types keep their text.
+		switch {
+		case len(edges) > 0:
+			terms := make([]string, len(edges))
+			for i, e := range edges {
+				terms[i] = e.child + "*"
+			}
+			tgt.DeclareSeq(a, terms...)
+			for _, e := range edges {
+				v.Ann[view.Edge{Parent: a, Child: e.child}] = e.q
+			}
+		case d.Prods[a].Kind == dtd.Str:
+			tgt.DeclareStr(a)
+		default:
+			tgt.DeclareEmpty(a)
+		}
+	}
+	if err := v.Check(); err != nil {
+		return nil, fmt.Errorf("secview: internal: %w", err)
+	}
+	return v, nil
+}
+
+// pathsThroughDenied returns the Xreg expression of all paths from visible
+// type a to visible type b whose intermediate types are denied, or nil if
+// no such path exists. Denied cycles produce Kleene stars (solved with
+// Arden's lemma); Cond endpoints contribute their filter.
+func pathsThroughDenied(d *dtd.DTD, ruleOf func(string) Rule, a, b string, denied []string) xpath.Path {
+	// Final step into b, with the Cond filter if any.
+	bStep := func() xpath.Path {
+		var q xpath.Path = &xpath.Label{Name: b}
+		if r := ruleOf(b); r.Action == Cond {
+			q = &xpath.Filter{Path: q, Cond: r.Filter}
+		}
+		return q
+	}
+
+	// Linear system over the denied types: E_x = ⋃_{x→y denied} y/E_y ∪
+	// (x→b ? b' : ∅), meaning "paths from inside x to b". The answer is
+	// E_a with the same equation shape (a itself is not a variable).
+	idx := make(map[string]int, len(denied))
+	for i, t := range denied {
+		idx[t] = i
+	}
+	// eq[i] = coefficient paths per variable plus an optional constant.
+	type term struct {
+		prefix xpath.Path // step(s) into the variable / constant
+		via    int        // variable index, -1 for the constant
+	}
+	eqs := make([][]term, len(denied))
+	build := func(x string) []term {
+		var out []term
+		for _, y := range d.ChildTypes(x) {
+			if j, ok := idx[y]; ok {
+				out = append(out, term{prefix: &xpath.Label{Name: y}, via: j})
+			}
+			if y == b {
+				out = append(out, term{prefix: bStep(), via: -1})
+			}
+		}
+		return out
+	}
+	for i, x := range denied {
+		eqs[i] = build(x)
+	}
+
+	union := func(l, r xpath.Path) xpath.Path {
+		if l == nil {
+			return r
+		}
+		if r == nil {
+			return l
+		}
+		return &xpath.Union{Left: l, Right: r}
+	}
+	seq := func(l, r xpath.Path) xpath.Path {
+		return &xpath.Seq{Left: l, Right: r}
+	}
+
+	// Gaussian elimination with Arden: X = p/X ∪ rest ⇒ X = p*/rest.
+	for vI := len(denied) - 1; vI >= 0; vI-- {
+		var self xpath.Path
+		var rest []term
+		for _, tm := range eqs[vI] {
+			if tm.via == vI {
+				self = union(self, tm.prefix)
+				continue
+			}
+			rest = append(rest, tm)
+		}
+		if self != nil {
+			star := &xpath.Star{Sub: self}
+			for i := range rest {
+				rest[i] = term{prefix: seq(star, rest[i].prefix), via: rest[i].via}
+			}
+		}
+		eqs[vI] = rest
+		for u := 0; u < vI; u++ {
+			var out []term
+			for _, tm := range eqs[u] {
+				if tm.via != vI {
+					out = append(out, tm)
+					continue
+				}
+				for _, sub := range eqs[vI] {
+					out = append(out, term{prefix: seq(tm.prefix, sub.prefix), via: sub.via})
+				}
+			}
+			eqs[u] = out
+		}
+	}
+	// Back-substitute upward so every equation is constant-only.
+	solved := make([]xpath.Path, len(denied))
+	for vI := 0; vI < len(denied); vI++ {
+		var expr xpath.Path
+		for _, tm := range eqs[vI] {
+			if tm.via < 0 {
+				expr = union(expr, tm.prefix)
+				continue
+			}
+			if solved[tm.via] == nil {
+				continue // variable with no path to b
+			}
+			expr = union(expr, seq(tm.prefix, solved[tm.via]))
+		}
+		solved[vI] = expr
+	}
+
+	// Assemble E_a.
+	var out xpath.Path
+	for _, tm := range build(a) {
+		if tm.via < 0 {
+			out = union(out, tm.prefix)
+			continue
+		}
+		if solved[tm.via] == nil {
+			continue
+		}
+		out = union(out, seq(tm.prefix, solved[tm.via]))
+	}
+	return out
+}

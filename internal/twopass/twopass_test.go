@@ -1,0 +1,57 @@
+package twopass_test
+
+import (
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/refeval"
+	"smoqe/internal/twopass"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+func TestMatchesReferenceOnSample(t *testing.T) {
+	doc := hospital.SampleDocument()
+	queries := []string{
+		".",
+		"department/patient/pname",
+		"department/patient[visit]",
+		"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+		"department/patient[not(visit/treatment/test)]",
+		"department/patient[visit/treatment/test or visit/treatment/medication/diagnosis/text()='flu']",
+		"//diagnosis",
+		hospital.XPA, hospital.XPB, hospital.XPC,
+		hospital.RXA, hospital.RXB, hospital.RXC, // regular XPath also works
+	}
+	for _, src := range queries {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, doc.Root)
+		got := twopass.MustNew(q).Eval(doc.Root)
+		if len(got) != len(want) {
+			t.Errorf("%q: got %d nodes, want %d", src, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%q: result %d differs", src, i)
+			}
+		}
+	}
+}
+
+func TestInteriorContext(t *testing.T) {
+	doc := hospital.SampleDocument()
+	dep := doc.Root.ElementChildren()[0]
+	q := xpath.MustParse("patient[visit/treatment/test]/pname")
+	want := refeval.Eval(q, dep)
+	got := twopass.MustNew(q).Eval(dep)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", xmltree.IDsOf(got), xmltree.IDsOf(want))
+	}
+}
+
+func TestNewError(t *testing.T) {
+	if _, err := twopass.New(nil); err == nil {
+		t.Error("New(nil) must error")
+	}
+}

@@ -1,0 +1,478 @@
+// Package view implements XML views defined by DTD annotation (§2.3 of the
+// paper): a view σ : D → D_V maps every edge (A,B) of the view DTD D_V to
+// an Xreg query σ(A,B) over documents of the source DTD D, in the style of
+// Oracle AXSD, SQLServer annotated XSDs and IBM DB2 DADs. The package
+// provides the view definition, a textual specification format, validation,
+// and a materializer that records the source node behind every view node
+// (provenance), which is what makes exact correctness testing of the
+// rewriting algorithm possible.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/refeval"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+// Edge identifies an edge (Parent, Child) of the view DTD graph.
+type Edge struct {
+	Parent, Child string
+}
+
+func (e Edge) String() string { return e.Parent + "/" + e.Child }
+
+// View is a view definition σ : D → D_V.
+type View struct {
+	Name string
+	// Source is the document DTD D.
+	Source *dtd.DTD
+	// Target is the view DTD D_V. The view is recursive iff Target is.
+	Target *dtd.DTD
+	// Ann maps each edge (A,B) of the view DTD to the query σ(A,B) over
+	// the source document that computes the B-children of an A element.
+	Ann map[Edge]xpath.Path
+}
+
+// IsRecursive reports whether the view is recursively defined (§2.3: the
+// view is recursive iff the view DTD is).
+func (v *View) IsRecursive() bool { return v.Target.IsRecursive() }
+
+// Query returns σ(A,B), or nil if the edge is not annotated.
+func (v *View) Query(parent, child string) xpath.Path {
+	return v.Ann[Edge{parent, child}]
+}
+
+// Size returns |σ|: the total AST size of all annotating queries.
+func (v *View) Size() int {
+	n := 0
+	for _, q := range v.Ann {
+		n += q.Size()
+	}
+	return n
+}
+
+// Check validates the view definition: both DTDs must be valid, every edge
+// of the view DTD reachable from its root must carry an annotation, no
+// annotation may reference a non-edge, and every label used in an
+// annotating query must be an element type of the source DTD.
+func (v *View) Check() error {
+	if v.Source == nil || v.Target == nil {
+		return fmt.Errorf("view %q: missing source or target DTD", v.Name)
+	}
+	if err := v.Source.Validate(); err != nil {
+		return fmt.Errorf("view %q: source: %w", v.Name, err)
+	}
+	if err := v.Target.Validate(); err != nil {
+		return fmt.Errorf("view %q: target: %w", v.Name, err)
+	}
+	reach := v.Target.Reachable()
+	for a := range reach {
+		for _, b := range v.Target.ChildTypes(a) {
+			if _, ok := v.Ann[Edge{a, b}]; !ok {
+				return fmt.Errorf("view %q: edge %s/%s of the view DTD has no annotation", v.Name, a, b)
+			}
+		}
+	}
+	for e, q := range v.Ann {
+		if !v.Target.HasType(e.Parent) {
+			return fmt.Errorf("view %q: annotation %s: %q is not a view type", v.Name, e, e.Parent)
+		}
+		found := false
+		for _, b := range v.Target.ChildTypes(e.Parent) {
+			if b == e.Child {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("view %q: annotation %s: not an edge of the view DTD", v.Name, e)
+		}
+		if err := checkLabels(q, v.Source); err != nil {
+			return fmt.Errorf("view %q: annotation %s: %w", v.Name, e, err)
+		}
+	}
+	return nil
+}
+
+func checkLabels(q xpath.Path, d *dtd.DTD) error {
+	var pathErr func(p xpath.Path) error
+	var predErr func(p xpath.Pred) error
+	pathErr = func(p xpath.Path) error {
+		switch t := p.(type) {
+		case xpath.Empty, xpath.Wildcard:
+			return nil
+		case *xpath.Label:
+			if !d.HasType(t.Name) {
+				return fmt.Errorf("label %q is not declared in source DTD %q", t.Name, d.Name)
+			}
+			return nil
+		case *xpath.Seq:
+			if err := pathErr(t.Left); err != nil {
+				return err
+			}
+			return pathErr(t.Right)
+		case *xpath.Union:
+			if err := pathErr(t.Left); err != nil {
+				return err
+			}
+			return pathErr(t.Right)
+		case *xpath.Star:
+			return pathErr(t.Sub)
+		case *xpath.Filter:
+			if err := pathErr(t.Path); err != nil {
+				return err
+			}
+			return predErr(t.Cond)
+		default:
+			return fmt.Errorf("unknown path node %T", p)
+		}
+	}
+	predErr = func(p xpath.Pred) error {
+		switch t := p.(type) {
+		case *xpath.Exists:
+			return pathErr(t.Path)
+		case *xpath.TextEq:
+			return pathErr(t.Path)
+		case *xpath.PosEq:
+			return pathErr(t.Path)
+		case *xpath.Not:
+			return predErr(t.Sub)
+		case *xpath.And:
+			if err := predErr(t.Left); err != nil {
+				return err
+			}
+			return predErr(t.Right)
+		case *xpath.Or:
+			if err := predErr(t.Left); err != nil {
+				return err
+			}
+			return predErr(t.Right)
+		default:
+			return fmt.Errorf("unknown predicate node %T", p)
+		}
+	}
+	return pathErr(q)
+}
+
+// String renders the view in the textual format accepted by Parse.
+func (v *View) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "view %s {\n", v.Name)
+	edges := make([]Edge, 0, len(v.Ann))
+	for e := range v.Ann {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Parent != edges[j].Parent {
+			return edges[i].Parent < edges[j].Parent
+		}
+		return edges[i].Child < edges[j].Child
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s/%s = %s;\n", e.Parent, e.Child, v.Ann[e])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Identity returns the identity view over d: every DTD edge (A,B) is
+// annotated with the single step B, so σ(T) = T for every document of d.
+// Rewriting a query (or MFA) over the identity view specializes it to the
+// DTD: transitions that no document of d can take are removed, which both
+// shrinks the automaton and acts as a static "type check" of the query
+// against the schema (an automaton with no final states can never match).
+func Identity(d *dtd.DTD) *View {
+	v := &View{Name: "identity(" + d.Name + ")", Source: d, Target: d, Ann: make(map[Edge]xpath.Path)}
+	for a := range d.Reachable() {
+		for _, b := range d.ChildTypes(a) {
+			v.Ann[Edge{Parent: a, Child: b}] = &xpath.Label{Name: b}
+		}
+	}
+	return v
+}
+
+// Parse reads a view specification in the textual format:
+//
+//	view sigma0 {
+//	  hospital/patient = department/patient[...];  # σ(hospital, patient)
+//	  patient/parent   = parent;
+//	  ...
+//	}
+//
+// Each line annotates one view-DTD edge with an Xreg query over the source.
+// "#" starts a line comment ("//" would be ambiguous with the descendant
+// axis inside annotations). The caller supplies the two DTDs; Parse
+// validates the result with Check.
+func Parse(src string, source, target *dtd.DTD) (*View, error) {
+	v := &View{Source: source, Target: target, Ann: make(map[Edge]xpath.Path)}
+	s := newScanner(src)
+	if !s.eatWord("view") {
+		return nil, fmt.Errorf("view: line %d: expected keyword \"view\"", s.line)
+	}
+	name, ok := s.ident()
+	if !ok {
+		return nil, fmt.Errorf("view: line %d: expected view name", s.line)
+	}
+	v.Name = name
+	if !s.eatTok("{") {
+		return nil, fmt.Errorf("view: line %d: expected \"{\"", s.line)
+	}
+	for {
+		if s.eatTok("}") {
+			break
+		}
+		parent, ok := s.ident()
+		if !ok {
+			return nil, fmt.Errorf("view: line %d: expected view type or \"}\"", s.line)
+		}
+		if !s.eatTok("/") {
+			return nil, fmt.Errorf("view: line %d: expected \"/\" after %q", s.line, parent)
+		}
+		child, ok := s.ident()
+		if !ok {
+			return nil, fmt.Errorf("view: line %d: expected child type after %q/", s.line, parent)
+		}
+		if !s.eatTok("=") {
+			return nil, fmt.Errorf("view: line %d: expected \"=\" after edge %s/%s", s.line, parent, child)
+		}
+		qsrc, ok := s.untilSemi()
+		if !ok {
+			return nil, fmt.Errorf("view: line %d: missing \";\" after annotation of %s/%s", s.line, parent, child)
+		}
+		q, err := xpath.Parse(qsrc)
+		if err != nil {
+			return nil, fmt.Errorf("view: edge %s/%s: %w", parent, child, err)
+		}
+		e := Edge{parent, child}
+		if _, dup := v.Ann[e]; dup {
+			return nil, fmt.Errorf("view: edge %s annotated twice", e)
+		}
+		v.Ann[e] = q
+	}
+	s.skipSpace()
+	if !s.done() {
+		return nil, fmt.Errorf("view: line %d: trailing input after \"}\"", s.line)
+	}
+	if err := v.Check(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustParse is Parse but panics on error; intended for fixtures.
+func MustParse(src string, source, target *dtd.DTD) *View {
+	v, err := Parse(src, source, target)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newScanner(src string) *scanner { return &scanner{src: src, line: 1} }
+
+func (s *scanner) done() bool { return s.pos >= len(s.src) }
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == '\n':
+			s.line++
+			s.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			s.pos++
+		case c == '#':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) eatTok(tok string) bool {
+	s.skipSpace()
+	if strings.HasPrefix(s.src[s.pos:], tok) {
+		s.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (s *scanner) eatWord(w string) bool {
+	s.skipSpace()
+	rest := s.src[s.pos:]
+	if !strings.HasPrefix(rest, w) {
+		return false
+	}
+	if len(rest) > len(w) && isIdent(rest[len(w)]) {
+		return false
+	}
+	s.pos += len(w)
+	return true
+}
+
+func (s *scanner) ident() (string, bool) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) && isIdent(s.src[s.pos]) {
+		s.pos++
+	}
+	if s.pos == start {
+		return "", false
+	}
+	return s.src[start:s.pos], true
+}
+
+// untilSemi returns the raw text up to the next ';' outside of quotes.
+func (s *scanner) untilSemi() (string, bool) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ';' {
+			out := s.src[start:s.pos]
+			s.pos++
+			return out, true
+		}
+		if c == '\'' || c == '"' {
+			q := c
+			s.pos++
+			for s.pos < len(s.src) && s.src[s.pos] != q {
+				if s.src[s.pos] == '\n' {
+					s.line++
+				}
+				s.pos++
+			}
+			if s.pos >= len(s.src) {
+				return "", false
+			}
+		}
+		if c == '\n' {
+			s.line++
+		}
+		s.pos++
+	}
+	return "", false
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// Materialization is the result of applying a view to a document: the view
+// document σ(T) plus provenance linking every view node to the source node
+// it was extracted from.
+type Materialization struct {
+	Doc *xmltree.Document
+	// Src maps each element node of Doc to the source node it represents;
+	// the view root maps to the source root.
+	Src map[*xmltree.Node]*xmltree.Node
+}
+
+// SourceOf returns the source nodes behind the given view nodes, in
+// document order without duplicates (distinct view nodes may share a
+// source node in recursive views).
+func (m *Materialization) SourceOf(viewNodes []*xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(viewNodes))
+	for _, v := range viewNodes {
+		if s, ok := m.Src[v]; ok {
+			out = append(out, s)
+		}
+	}
+	return xmltree.SortNodes(out)
+}
+
+// Materialize computes σ(T) top-down per Example 2.2 of the paper: the view
+// root corresponds to the source root; for a view node of type A backed by
+// source node n, its B-children are the nodes n[[σ(A,B)]], in document
+// order, for each B in production order of A. Str view types copy the text
+// content of their source node.
+//
+// A view definition whose expansion revisits the same (view type, source
+// node) pair along one materialization path would generate an infinite
+// document; Materialize detects this and returns an error.
+func Materialize(v *View, doc *xmltree.Document) (*Materialization, error) {
+	return MaterializeBounded(v, doc, 0)
+}
+
+// MaterializeBounded is Materialize with a node budget: a view whose
+// expansion exceeds maxNodes element nodes fails with an error instead of
+// exhausting memory (annotations may copy whole subtrees many times, so a
+// terminating view can still be exponentially larger than its source).
+// maxNodes <= 0 means no limit.
+func MaterializeBounded(v *View, doc *xmltree.Document, maxNodes int) (*Materialization, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("view %q: empty source document", v.Name)
+	}
+	out := xmltree.NewDocument(v.Target.Root)
+	mat := &Materialization{
+		Doc: out,
+		Src: map[*xmltree.Node]*xmltree.Node{out.Root: doc.Root},
+	}
+	type key struct {
+		typ string
+		src *xmltree.Node
+	}
+	onPath := make(map[key]bool)
+	var expand func(viewNode *xmltree.Node, typ string, src *xmltree.Node) error
+	expand = func(viewNode *xmltree.Node, typ string, src *xmltree.Node) error {
+		k := key{typ, src}
+		if onPath[k] {
+			return fmt.Errorf("view %q: non-terminating expansion: type %q revisits source node %s", v.Name, typ, src.Path())
+		}
+		onPath[k] = true
+		defer delete(onPath, k)
+
+		p, ok := v.Target.Prods[typ]
+		if !ok {
+			return fmt.Errorf("view %q: view type %q not declared", v.Name, typ)
+		}
+		if maxNodes > 0 && out.NumNodes() > maxNodes {
+			return fmt.Errorf("view %q: materialization exceeds %d nodes", v.Name, maxNodes)
+		}
+		switch p.Kind {
+		case dtd.Empty:
+			return nil
+		case dtd.Str:
+			if txt := src.TextContent(); txt != "" {
+				out.AddText(viewNode, txt)
+			}
+			return nil
+		case dtd.Seq, dtd.Choice:
+			for _, term := range p.Terms {
+				q := v.Ann[Edge{typ, term.Type}]
+				if q == nil {
+					return fmt.Errorf("view %q: edge %s/%s has no annotation", v.Name, typ, term.Type)
+				}
+				for _, m := range refeval.Eval(q, src) {
+					child := out.AddElement(viewNode, term.Type)
+					mat.Src[child] = m
+					if err := expand(child, term.Type, m); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("view %q: type %q: unknown production kind", v.Name, typ)
+		}
+	}
+	if err := expand(out.Root, v.Target.Root, doc.Root); err != nil {
+		return nil, err
+	}
+	return mat, nil
+}

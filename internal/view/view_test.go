@@ -1,0 +1,380 @@
+package view_test
+
+import (
+	"strings"
+	"testing"
+
+	"smoqe/internal/dtd"
+	"smoqe/internal/hospital"
+	"smoqe/internal/refeval"
+	"smoqe/internal/view"
+	"smoqe/internal/xmltree"
+	"smoqe/internal/xpath"
+)
+
+func TestParseSigma0(t *testing.T) {
+	v := hospital.Sigma0()
+	if v.Name != "sigma0" {
+		t.Errorf("name = %q", v.Name)
+	}
+	if len(v.Ann) != 6 {
+		t.Errorf("annotations = %d, want 6", len(v.Ann))
+	}
+	if !v.IsRecursive() {
+		t.Error("σ0 must be recursive (patient → parent → patient in D_V)")
+	}
+	if q := v.Query("patient", "record"); q == nil || q.String() != "visit" {
+		t.Errorf("σ(patient,record) = %v", q)
+	}
+	if v.Size() <= 6 {
+		t.Errorf("|σ| = %d, suspiciously small", v.Size())
+	}
+}
+
+func TestViewStringRoundTrip(t *testing.T) {
+	v := hospital.Sigma0()
+	v2, err := view.Parse(v.String(), hospital.DocDTD(), hospital.ViewDTD())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, v.String())
+	}
+	if v.String() != v2.String() {
+		t.Errorf("round trip changed view:\n%s\nvs\n%s", v.String(), v2.String())
+	}
+}
+
+func TestParseAndCheckErrors(t *testing.T) {
+	src := hospital.DocDTD()
+	tgt := hospital.ViewDTD()
+	cases := map[string]string{
+		"missing keyword": `sigma { hospital/patient = department/patient; }`,
+		"missing edge annotation": `view s {
+			hospital/patient = department/patient;
+		}`, // other edges unannotated
+		"not an edge": `view s {
+			hospital/patient = department/patient;
+			patient/parent = parent; patient/record = visit;
+			parent/patient = patient; record/empty = treatment/test;
+			record/diagnosis = treatment/medication/diagnosis;
+			hospital/record = visit;
+		}`,
+		"unknown label in query": `view s {
+			hospital/patient = department/inmate;
+			patient/parent = parent; patient/record = visit;
+			parent/patient = patient; record/empty = treatment/test;
+			record/diagnosis = treatment/medication/diagnosis;
+		}`,
+		"duplicate edge": `view s {
+			hospital/patient = department/patient;
+			hospital/patient = department/patient;
+		}`,
+		"bad query syntax": `view s {
+			hospital/patient = department/;
+		}`,
+		"missing semicolon": `view s {
+			hospital/patient = department/patient
+		}`,
+	}
+	for name, s := range cases {
+		if _, err := view.Parse(s, src, tgt); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestMaterializeSigma0OnSample(t *testing.T) {
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	mat, err := view.Materialize(v, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view must conform to the view DTD.
+	if err := hospital.ViewDTD().CheckDocument(mat.Doc); err != nil {
+		t.Fatalf("materialized view does not conform to D_V: %v", err)
+	}
+	// Exactly the heart-disease patients appear at the top: Alice, Erin.
+	top := mat.Doc.Root.ElementChildren()
+	if len(top) != 2 {
+		t.Fatalf("top-level view patients = %d, want 2 (Alice, Erin)", len(top))
+	}
+	// Their source nodes must be patient elements with heart disease.
+	for _, p := range top {
+		src := mat.Src[p]
+		if src == nil || src.Label != "patient" {
+			t.Fatalf("provenance of view patient missing or wrong: %v", src)
+		}
+	}
+	// Alice's parent chain: Bob (no diagnosis in view; record is empty),
+	// then Carol with heart disease.
+	alice := top[0]
+	var parents []*xmltree.Node
+	for _, c := range alice.ElementChildren() {
+		if c.Label == "parent" {
+			parents = append(parents, c)
+		}
+	}
+	if len(parents) != 1 {
+		t.Fatalf("Alice parents in view = %d, want 1", len(parents))
+	}
+	bob := parents[0].ElementChildren()[0]
+	// Bob's record must be empty (his visit was a test).
+	var bobRecords, bobParents int
+	for _, c := range bob.ElementChildren() {
+		switch c.Label {
+		case "record":
+			bobRecords++
+			if len(c.ElementChildren()) != 1 || c.ElementChildren()[0].Label != "empty" {
+				t.Errorf("Bob's record should hold <empty/>, got %v", c.ElementChildren())
+			}
+		case "parent":
+			bobParents++
+		}
+	}
+	if bobRecords != 1 || bobParents != 1 {
+		t.Errorf("Bob: records=%d parents=%d, want 1/1", bobRecords, bobParents)
+	}
+	// The view must NOT contain siblings, names, doctors or tests.
+	forbidden := map[string]bool{"sibling": true, "pname": true, "doctor": true, "test": true, "address": true}
+	mat.Doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Element && forbidden[n.Label] {
+			t.Errorf("forbidden label %q leaked into the view", n.Label)
+		}
+		return true
+	})
+	// Diagnosis text is copied from the source.
+	found := false
+	mat.Doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Element && n.Label == "diagnosis" && n.TextContent() == "heart disease" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("no heart disease diagnosis text in the view")
+	}
+}
+
+func TestMaterializeProvenanceConsistent(t *testing.T) {
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	mat, err := view.Materialize(v, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every element view node has provenance; children's sources are
+	// reachable from their parent's source via the edge query.
+	mat.Doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Element {
+			return true
+		}
+		src, ok := mat.Src[n]
+		if !ok {
+			t.Fatalf("view node %s has no provenance", n.Path())
+		}
+		for _, c := range n.ElementChildren() {
+			q := v.Query(n.Label, c.Label)
+			if q == nil {
+				t.Fatalf("no annotation for edge %s/%s", n.Label, c.Label)
+			}
+			csrc := mat.Src[c]
+			ok := false
+			for _, m := range refeval.Eval(q, src) {
+				if m == csrc {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("child %s source not in σ(%s,%s) of parent source", c.Path(), n.Label, c.Label)
+			}
+		}
+		return true
+	})
+}
+
+func TestMaterializeQueryOnViewEqualsPaperExample(t *testing.T) {
+	// Example 1.1: on the sample data, Q = patient[*//record/diagnosis/
+	// text()='heart disease'] over the view selects Alice only (her
+	// grandmother Carol had heart disease; Erin's ancestors are healthy).
+	// Dan (sibling, heart disease) must not make Erin or anyone else
+	// selected — siblings are not in the view.
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	mat, err := view.Materialize(v, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustParse(hospital.QExample11)
+	got := refeval.Eval(q, mat.Doc.Root)
+	if len(got) != 1 {
+		t.Fatalf("Q(σ0(T)) = %d nodes, want 1 (Alice)", len(got))
+	}
+	src := mat.Src[got[0]]
+	// Check that the source patient is indeed Alice by her pname child.
+	name := ""
+	for _, c := range src.ElementChildren() {
+		if c.Label == "pname" {
+			name = c.TextContent()
+		}
+	}
+	if name != "Alice" {
+		t.Errorf("selected patient = %q, want Alice", name)
+	}
+}
+
+func TestMaterializeNonTerminating(t *testing.T) {
+	src := dtd.MustParse(`dtd s { root a; a -> b*; b -> #text; }`)
+	tgt := dtd.MustParse(`dtd t { root a; a -> a*; }`)
+	v := &view.View{
+		Name:   "loop",
+		Source: src,
+		Target: tgt,
+		Ann:    map[view.Edge]xpath.Path{{"a", "a"}: xpath.MustParse(".")},
+	}
+	if err := v.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	doc, err := xmltree.ParseString(`<a><b>x</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.Materialize(v, doc); err == nil {
+		t.Error("non-terminating view must be detected")
+	} else if !strings.Contains(err.Error(), "non-terminating") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestMaterializeRelabeling(t *testing.T) {
+	// A view that renames visit → record demonstrates relabeling: view
+	// node labels come from the view DTD, not the source.
+	src := dtd.MustParse(`dtd s { root r; r -> v*; v -> d; d -> #text; }`)
+	tgt := dtd.MustParse(`dtd t { root root2; root2 -> rec*; rec -> #text; }`)
+	_ = src
+	v := &view.View{
+		Name:   "rename",
+		Source: src,
+		Target: tgt,
+		Ann: map[view.Edge]xpath.Path{
+			{"root2", "rec"}: xpath.MustParse("v/d"),
+		},
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(`<r><v><d>one</d></v><v><d>two</d></v></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := view.Materialize(v, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mat.Doc.Root.ElementChildren()
+	if len(recs) != 2 || recs[0].Label != "rec" {
+		t.Fatalf("view children: %v", recs)
+	}
+	if recs[0].TextContent() != "one" || recs[1].TextContent() != "two" {
+		t.Errorf("text copy failed: %q, %q", recs[0].TextContent(), recs[1].TextContent())
+	}
+	if mat.Doc.Root.Label != "root2" {
+		t.Errorf("view root label = %q", mat.Doc.Root.Label)
+	}
+}
+
+func TestSourceOfDedup(t *testing.T) {
+	v := hospital.Sigma0()
+	doc := hospital.SampleDocument()
+	mat, err := view.Materialize(v, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops := mat.Doc.Root.ElementChildren()
+	dup := append(append([]*xmltree.Node{}, tops...), tops...)
+	srcs := mat.SourceOf(dup)
+	if len(srcs) != len(tops) {
+		t.Errorf("SourceOf must dedup: %d vs %d", len(srcs), len(tops))
+	}
+}
+
+func TestMaterializeBounded(t *testing.T) {
+	// A view that squares the fan-out at every level: terminating but
+	// exponentially larger than the source.
+	src := dtd.MustParse(`dtd s { root a; a -> b*; b -> b*, c*; c -> #text; }`)
+	tgt := dtd.MustParse(`dtd t { root a; a -> b*; b -> b*, c*; c -> #text; }`)
+	v := &view.View{
+		Name:   "explode",
+		Source: src,
+		Target: tgt,
+		Ann: map[view.Edge]xpath.Path{
+			{Parent: "a", Child: "b"}: xpath.MustParse("b | b/b | b/b/b"),
+			{Parent: "b", Child: "b"}: xpath.MustParse("b | b/b | b/b/b"),
+			{Parent: "b", Child: "c"}: xpath.MustParse("c | (*)*/c"),
+		},
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Deep source chain.
+	var b strings.Builder
+	b.WriteString("<a>")
+	for i := 0; i < 12; i++ {
+		b.WriteString("<b>")
+	}
+	b.WriteString("<c>x</c>")
+	for i := 0; i < 12; i++ {
+		b.WriteString("</b>")
+	}
+	b.WriteString("</a>")
+	doc, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.MaterializeBounded(v, doc, 1_000); err == nil {
+		t.Error("exploding view must exceed the budget")
+	} else if !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// A generous budget on a sane view succeeds.
+	if _, err := view.MaterializeBounded(hospital.Sigma0(), hospital.SampleDocument(), 1_000_000); err != nil {
+		t.Errorf("bounded materialization of σ0 failed: %v", err)
+	}
+}
+
+func TestViewSpecQuotedSemicolon(t *testing.T) {
+	// Semicolons and braces inside quoted constants must not terminate
+	// the annotation.
+	src := dtd.MustParse(`dtd s { root a; a -> b*; b -> #text; }`)
+	tgt := dtd.MustParse(`dtd t { root a; a -> x*; x -> #text; }`)
+	v, err := view.Parse(`view q {
+		a/x = b[text()='odd; value }'];
+	}`, src, tgt)
+	if err != nil {
+		t.Fatalf("quoted semicolon: %v", err)
+	}
+	q := v.Query("a", "x")
+	if q == nil || q.String() != "b[text()='odd; value }']" {
+		t.Errorf("annotation = %v", q)
+	}
+	// Unterminated quote is an error, not a hang.
+	if _, err := view.Parse(`view q { a/x = b[text()='unterminated; }`, src, tgt); err == nil {
+		t.Error("unterminated quote must fail")
+	}
+}
+
+func TestViewAnnotationDescendantAxis(t *testing.T) {
+	// '//' inside an annotation is the descendant axis; '#' is the
+	// comment marker.
+	src := dtd.MustParse(`dtd s { root a; a -> b*; b -> c*; c -> #text; }`)
+	tgt := dtd.MustParse(`dtd t { root a; a -> x*; x -> #text; }`)
+	v, err := view.Parse(`view q {
+		# every c anywhere below
+		a/x = b//c;  # trailing comment
+	}`, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Query("a", "x").String(); got != "b/**/c" {
+		t.Errorf("annotation = %q", got)
+	}
+}

@@ -1,0 +1,36 @@
+package xmltree
+
+import "testing"
+
+// FuzzParse checks the XML parser never panics and accepted documents
+// survive serialize→parse with identical structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>x</b><c/></a>",
+		"<a>x<b/>y</a>",
+		"<a", "</a>", "<a></b>", "<a/><b/>", "text",
+		"<a>&amp;&lt;&gt;</a>",
+		"<a \xff='1'/>",
+		"<a><![CDATA[x]]></a>",
+		"<?xml version='1.0'?><a/>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := doc.XMLString()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own serialization %q: %v", src, out, err)
+		}
+		s1, s2 := doc.ComputeStats(), doc2.ComputeStats()
+		if s1.Elements != s2.Elements || s1.MaxDepth != s2.MaxDepth {
+			t.Fatalf("round trip changed shape: %+v vs %+v (%q -> %q)", s1, s2, src, out)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package xmltree provides the in-memory XML document model used throughout
+// SMOQE: an ordered tree of element and text nodes with document-order
+// identifiers, a parser built on encoding/xml, and a serializer.
+//
+// The model is deliberately minimal — elements and text only — matching the
+// data model of the paper (attributes, comments and processing instructions
+// are outside the studied fragment and are skipped by the parser).
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the two node kinds of the SMOQE data model.
+type Kind uint8
+
+const (
+	// Element is an element node with a label and children.
+	Element Kind = iota
+	// Text is a text (PCDATA) node; it has no children.
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a single node of an XML tree. Nodes are created through Document
+// methods (or the parser) so that document-order identifiers stay dense and
+// consistent.
+type Node struct {
+	// ID is the preorder (document order) identifier of the node, unique
+	// within its Document and dense in [0, Document.NumNodes()).
+	ID int
+	// Kind says whether the node is an Element or a Text node.
+	Kind Kind
+	// Label is the element tag; empty for text nodes.
+	Label string
+	// Data is the character content of a Text node; empty for elements.
+	Data string
+	// Parent is nil for the root.
+	Parent *Node
+	// Children holds the node's children in document order. Text nodes
+	// have none.
+	Children []*Node
+	// Pos is the 1-based position of the node among its parent's children
+	// (counting both element and text children). The root has Pos 1.
+	Pos int
+	// Depth is the number of edges from the root (root has Depth 0).
+	Depth int
+}
+
+// IsElement reports whether the node is an element node.
+func (n *Node) IsElement() bool { return n.Kind == Element }
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool { return n.Kind == Text }
+
+// TextContent returns the concatenation of the node's direct text-node
+// children. For a Text node it returns the node's own data. This is the
+// value against which text()='c' predicates are tested.
+func (n *Node) TextContent() string {
+	if n.Kind == Text {
+		return n.Data
+	}
+	switch len(n.Children) {
+	case 0:
+		return ""
+	case 1:
+		if c := n.Children[0]; c.Kind == Text {
+			return c.Data
+		}
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			b.WriteString(c.Data)
+		}
+	}
+	return b.String()
+}
+
+// ElementChildren returns the element children of n in document order.
+func (n *Node) ElementChildren() []*Node {
+	out := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Path returns a debugging path like /hospital[1]/patient[2] from the root
+// to n. Positions count element siblings with the same label.
+func (n *Node) Path() string {
+	if n == nil {
+		return "<nil>"
+	}
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Kind == Text {
+			parts = append(parts, "text()")
+			continue
+		}
+		idx := 1
+		if cur.Parent != nil {
+			for _, sib := range cur.Parent.Children {
+				if sib == cur {
+					break
+				}
+				if sib.Kind == Element && sib.Label == cur.Label {
+					idx++
+				}
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d]", cur.Label, idx))
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Document is an XML tree with a designated root element and document-order
+// node identifiers.
+type Document struct {
+	Root  *Node
+	nodes []*Node // indexed by ID
+}
+
+// NewDocument creates a document with a fresh root element labeled label.
+func NewDocument(label string) *Document {
+	d := &Document{}
+	root := &Node{Kind: Element, Label: label, Pos: 1}
+	d.adopt(root)
+	d.Root = root
+	return d
+}
+
+func (d *Document) adopt(n *Node) {
+	n.ID = len(d.nodes)
+	d.nodes = append(d.nodes, n)
+}
+
+// NumNodes returns the total number of nodes (elements and text) in the
+// document.
+func (d *Document) NumNodes() int { return len(d.nodes) }
+
+// NodeByID returns the node with the given document-order ID, or nil if the
+// ID is out of range.
+func (d *Document) NodeByID(id int) *Node {
+	if id < 0 || id >= len(d.nodes) {
+		return nil
+	}
+	return d.nodes[id]
+}
+
+// AddElement appends a new element child labeled label to parent and returns
+// it. The parent must belong to this document.
+func (d *Document) AddElement(parent *Node, label string) *Node {
+	n := &Node{
+		Kind:   Element,
+		Label:  label,
+		Parent: parent,
+		Pos:    len(parent.Children) + 1,
+		Depth:  parent.Depth + 1,
+	}
+	d.adopt(n)
+	parent.Children = append(parent.Children, n)
+	return n
+}
+
+// AddText appends a new text child with the given data to parent and
+// returns it.
+func (d *Document) AddText(parent *Node, data string) *Node {
+	n := &Node{
+		Kind:   Text,
+		Data:   data,
+		Parent: parent,
+		Pos:    len(parent.Children) + 1,
+		Depth:  parent.Depth + 1,
+	}
+	d.adopt(n)
+	parent.Children = append(parent.Children, n)
+	return n
+}
+
+// Walk visits every node of the document in document (preorder) order.
+// If fn returns false the subtree below the node is skipped.
+func (d *Document) Walk(fn func(*Node) bool) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if d.Root != nil {
+		rec(d.Root)
+	}
+}
+
+// Stats summarizes the shape of a document; it backs the dataset-shape
+// experiment of §7 of the paper.
+type Stats struct {
+	Elements int
+	Texts    int
+	MaxDepth int
+	// LabelCounts maps each element label to its number of occurrences.
+	LabelCounts map[string]int
+}
+
+// ComputeStats walks the document once and returns its Stats.
+func (d *Document) ComputeStats() Stats {
+	st := Stats{LabelCounts: make(map[string]int)}
+	d.Walk(func(n *Node) bool {
+		if n.Depth > st.MaxDepth {
+			st.MaxDepth = n.Depth
+		}
+		if n.Kind == Element {
+			st.Elements++
+			st.LabelCounts[n.Label]++
+		} else {
+			st.Texts++
+		}
+		return true
+	})
+	return st
+}
+
+// SortNodes sorts a slice of nodes in place by document order and removes
+// duplicates, returning the (possibly shorter) slice. It is the canonical
+// way query engines normalize answer sets.
+func SortNodes(ns []*Node) []*Node {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	out := ns[:0]
+	var prev *Node
+	for _, n := range ns {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}
+
+// IDsOf returns the document-order IDs of the given nodes. Useful in tests.
+func IDsOf(ns []*Node) []int {
+	ids := make([]int, len(ns))
+	for i, n := range ns {
+		ids[i] = n.ID
+	}
+	return ids
+}

@@ -1,0 +1,181 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into a Document. Attributes, comments,
+// processing instructions and the XML declaration are skipped; whitespace-only
+// text between elements is dropped (it never carries data in the SMOQE data
+// model), while any other character data becomes a Text node.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	d := &Document{}
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Kind: Element, Label: t.Name.Local}
+			if len(stack) == 0 {
+				if d.Root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements (second: <%s>)", t.Name.Local)
+				}
+				n.Pos = 1
+				d.adopt(n)
+				d.Root = n
+			} else {
+				parent := stack[len(stack)-1]
+				n.Parent = parent
+				n.Pos = len(parent.Children) + 1
+				n.Depth = parent.Depth + 1
+				d.adopt(n)
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unmatched </%s>", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			data := string(t)
+			if strings.TrimSpace(data) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: character data outside root element")
+			}
+			parent := stack[len(stack)-1]
+			// Merge adjacent character data so the tree has at most one
+			// text node between consecutive element children.
+			if k := len(parent.Children); k > 0 && parent.Children[k-1].Kind == Text {
+				parent.Children[k-1].Data += data
+				continue
+			}
+			n := &Node{
+				Kind:   Text,
+				Data:   data,
+				Parent: parent,
+				Pos:    len(parent.Children) + 1,
+				Depth:  parent.Depth + 1,
+			}
+			d.adopt(n)
+			parent.Children = append(parent.Children, n)
+		default:
+			// Comments, directives and processing instructions are ignored.
+		}
+	}
+	if d.Root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unclosed element <%s>", stack[len(stack)-1].Label)
+	}
+	return d, nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteXML serializes the document to w as XML. Text content is escaped.
+// If indent is true the output is pretty-printed with two-space indentation
+// (text-only elements stay on one line).
+func (d *Document) WriteXML(w io.Writer, indent bool) error {
+	bw := &errWriter{w: w}
+	if d.Root != nil {
+		writeNode(bw, d.Root, indent, 0)
+		if indent {
+			bw.WriteString("\n")
+		}
+	}
+	return bw.err
+}
+
+// XMLString returns the document serialized as a compact XML string.
+func (d *Document) XMLString() string {
+	var b strings.Builder
+	_ = d.WriteXML(&b, false)
+	return b.String()
+}
+
+// XMLSize returns the number of bytes of the compact XML serialization.
+// It is the “document size” axis of the paper’s figures.
+func (d *Document) XMLSize() int {
+	cw := &countWriter{}
+	_ = d.WriteXML(cw, false)
+	return cw.n
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+func writeNode(w *errWriter, n *Node, indent bool, depth int) {
+	if n.Kind == Text {
+		w.WriteString(escapeText(n.Data))
+		return
+	}
+	if indent && depth > 0 {
+		w.WriteString("\n")
+		w.WriteString(strings.Repeat("  ", depth))
+	}
+	w.WriteString("<")
+	w.WriteString(n.Label)
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteString(">")
+	textOnly := true
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			textOnly = false
+			break
+		}
+	}
+	for _, c := range n.Children {
+		writeNode(w, c, indent && !textOnly, depth+1)
+	}
+	if indent && !textOnly {
+		w.WriteString("\n")
+		w.WriteString(strings.Repeat("  ", depth))
+	}
+	w.WriteString("</")
+	w.WriteString(n.Label)
+	w.WriteString(">")
+}
+
+var textEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }

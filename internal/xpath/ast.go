@@ -1,0 +1,304 @@
+// Package xpath implements the regular XPath fragment Xreg of the paper
+// (§2.1) and its classic XPath sub-fragment X:
+//
+//	Q ::= ε | A | Q/Q | Q ∪ Q | Q* | Q[q]
+//	q ::= Q | Q/text()='c' | ¬q | q ∧ q | q ∨ q
+//
+// plus the position()=k final predicate admitted by the paper's AFA
+// definition (§4). The fragment X replaces Q* with '//'; the parser
+// desugars '//' into Star(Wildcard), which equals (⋃Ele)* on any document,
+// and records whether the query lies in X.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Path is a node-selecting expression: evaluated at a node it denotes the
+// set of nodes reachable via the path.
+type Path interface {
+	fmt.Stringer
+	isPath()
+	// Size is the number of AST nodes, the |Q| of the paper's bounds.
+	Size() int
+}
+
+// Pred is a filter expression: evaluated at a node it denotes a boolean.
+type Pred interface {
+	fmt.Stringer
+	isPred()
+	Size() int
+}
+
+// Empty is the empty path ε (self).
+type Empty struct{}
+
+// Label selects children with the given element tag.
+type Label struct{ Name string }
+
+// Wildcard selects all element children (written '*' in step position).
+// Star(Wildcard) is the desugaring of '//' (descendant-or-self).
+type Wildcard struct{}
+
+// Seq is concatenation Q1/Q2.
+type Seq struct{ Left, Right Path }
+
+// Union is Q1 ∪ Q2 (written Q1 | Q2).
+type Union struct{ Left, Right Path }
+
+// Star is the Kleene closure Q*.
+type Star struct{ Sub Path }
+
+// Filter is Q[q].
+type Filter struct {
+	Path Path
+	Cond Pred
+}
+
+func (Empty) isPath()    {}
+func (*Label) isPath()   {}
+func (Wildcard) isPath() {}
+func (*Seq) isPath()     {}
+func (*Union) isPath()   {}
+func (*Star) isPath()    {}
+func (*Filter) isPath()  {}
+
+// Exists is the path-existence predicate: true iff the path selects at
+// least one node.
+type Exists struct{ Path Path }
+
+// TextEq is Q/text() = 'c': true iff some node selected by Path has text
+// content equal to Value. Path may be Empty for a test on the context node.
+type TextEq struct {
+	Path  Path
+	Value string
+}
+
+// PosEq is Q/position() = k: true iff some node selected by Path sits at
+// child position k (1-based, counting all siblings) under its parent.
+type PosEq struct {
+	Path Path
+	K    int
+}
+
+// Not is ¬q.
+type Not struct{ Sub Pred }
+
+// And is q1 ∧ q2.
+type And struct{ Left, Right Pred }
+
+// Or is q1 ∨ q2.
+type Or struct{ Left, Right Pred }
+
+func (*Exists) isPred() {}
+func (*TextEq) isPred() {}
+func (*PosEq) isPred()  {}
+func (*Not) isPred()    {}
+func (*And) isPred()    {}
+func (*Or) isPred()     {}
+
+func (Empty) Size() int    { return 1 }
+func (*Label) Size() int   { return 1 }
+func (Wildcard) Size() int { return 1 }
+func (s *Seq) Size() int   { return 1 + s.Left.Size() + s.Right.Size() }
+func (u *Union) Size() int { return 1 + u.Left.Size() + u.Right.Size() }
+func (s *Star) Size() int  { return 1 + s.Sub.Size() }
+func (f *Filter) Size() int {
+	return 1 + f.Path.Size() + f.Cond.Size()
+}
+func (e *Exists) Size() int { return 1 + e.Path.Size() }
+func (t *TextEq) Size() int { return 1 + t.Path.Size() }
+func (p *PosEq) Size() int  { return 1 + p.Path.Size() }
+func (n *Not) Size() int    { return 1 + n.Sub.Size() }
+func (a *And) Size() int    { return 1 + a.Left.Size() + a.Right.Size() }
+func (o *Or) Size() int     { return 1 + o.Left.Size() + o.Right.Size() }
+
+// String renders the path in the concrete syntax accepted by Parse.
+// Binding strength (loosest to tightest): | , / , postfix */[].
+func (Empty) String() string    { return "." }
+func (l *Label) String() string { return l.Name }
+func (Wildcard) String() string { return "*" }
+
+func (s *Seq) String() string {
+	return childStr(s.Left, precSeq) + "/" + childStr(s.Right, precSeq)
+}
+
+func (u *Union) String() string {
+	return childStr(u.Left, precUnion) + " | " + childStr(u.Right, precUnion)
+}
+
+func (s *Star) String() string {
+	return childStr(s.Sub, precPostfix) + "*"
+}
+
+func (f *Filter) String() string {
+	return childStr(f.Path, precPostfix) + "[" + f.Cond.String() + "]"
+}
+
+const (
+	precUnion = iota
+	precSeq
+	precPostfix
+)
+
+func prec(p Path) int {
+	switch p.(type) {
+	case *Union:
+		return precUnion
+	case *Seq:
+		return precSeq
+	default:
+		return precPostfix
+	}
+}
+
+func childStr(p Path, parent int) string {
+	if prec(p) < parent {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+func (e *Exists) String() string { return e.Path.String() }
+
+func (t *TextEq) String() string {
+	if _, ok := t.Path.(Empty); ok {
+		return "text()=" + quote(t.Value)
+	}
+	return childStr(t.Path, precSeq) + "/text()=" + quote(t.Value)
+}
+
+func (p *PosEq) String() string {
+	if _, ok := p.Path.(Empty); ok {
+		return "position()=" + strconv.Itoa(p.K)
+	}
+	return childStr(p.Path, precSeq) + "/position()=" + strconv.Itoa(p.K)
+}
+
+func (n *Not) String() string { return "not(" + n.Sub.String() + ")" }
+
+func (a *And) String() string {
+	return predChild(a.Left) + " and " + predChild(a.Right)
+}
+
+func (o *Or) String() string {
+	// 'or' is the loosest predicate operator, so operands never need
+	// parentheses ('and' binds tighter and re-parses identically).
+	return o.Left.String() + " or " + o.Right.String()
+}
+
+// predChild parenthesizes Or operands under And ('and' binds tighter).
+func predChild(p Pred) string {
+	if _, ok := p.(*Or); ok {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+func quote(s string) string {
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	// Both quote kinds occur: single-quote with SQL-style doubling.
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// InFragmentX reports whether the query lies in the XPath fragment X of the
+// paper, i.e. Kleene star appears only as Star(Wildcard) (the desugaring of
+// '//'). Regular-XPath-only queries (Example 2.1) return false.
+func InFragmentX(p Path) bool {
+	switch t := p.(type) {
+	case Empty, *Label, Wildcard:
+		return true
+	case *Seq:
+		return InFragmentX(t.Left) && InFragmentX(t.Right)
+	case *Union:
+		return InFragmentX(t.Left) && InFragmentX(t.Right)
+	case *Star:
+		_, isWild := t.Sub.(Wildcard)
+		return isWild
+	case *Filter:
+		return InFragmentX(t.Path) && predInX(t.Cond)
+	default:
+		return false
+	}
+}
+
+func predInX(q Pred) bool {
+	switch t := q.(type) {
+	case *Exists:
+		return InFragmentX(t.Path)
+	case *TextEq:
+		return InFragmentX(t.Path)
+	case *PosEq:
+		return InFragmentX(t.Path)
+	case *Not:
+		return predInX(t.Sub)
+	case *And:
+		return predInX(t.Left) && predInX(t.Right)
+	case *Or:
+		return predInX(t.Left) && predInX(t.Right)
+	default:
+		return false
+	}
+}
+
+// Equal reports structural equality of two paths.
+func Equal(a, b Path) bool {
+	switch x := a.(type) {
+	case Empty:
+		_, ok := b.(Empty)
+		return ok
+	case Wildcard:
+		_, ok := b.(Wildcard)
+		return ok
+	case *Label:
+		y, ok := b.(*Label)
+		return ok && x.Name == y.Name
+	case *Seq:
+		y, ok := b.(*Seq)
+		return ok && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	case *Union:
+		y, ok := b.(*Union)
+		return ok && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	case *Star:
+		y, ok := b.(*Star)
+		return ok && Equal(x.Sub, y.Sub)
+	case *Filter:
+		y, ok := b.(*Filter)
+		return ok && Equal(x.Path, y.Path) && EqualPred(x.Cond, y.Cond)
+	default:
+		return false
+	}
+}
+
+// EqualPred reports structural equality of two predicates.
+func EqualPred(a, b Pred) bool {
+	switch x := a.(type) {
+	case *Exists:
+		y, ok := b.(*Exists)
+		return ok && Equal(x.Path, y.Path)
+	case *TextEq:
+		y, ok := b.(*TextEq)
+		return ok && x.Value == y.Value && Equal(x.Path, y.Path)
+	case *PosEq:
+		y, ok := b.(*PosEq)
+		return ok && x.K == y.K && Equal(x.Path, y.Path)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && EqualPred(x.Sub, y.Sub)
+	case *And:
+		y, ok := b.(*And)
+		return ok && EqualPred(x.Left, y.Left) && EqualPred(x.Right, y.Right)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && EqualPred(x.Left, y.Left) && EqualPred(x.Right, y.Right)
+	default:
+		return false
+	}
+}

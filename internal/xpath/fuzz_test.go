@@ -1,0 +1,37 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the query parser never panics and that everything
+// it accepts survives the print→parse→print fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"a/b[c]",
+		"(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']",
+		"a[b and not(c or d/text()='x')]",
+		"a//b | c/*",
+		".[position()=3]",
+		"a[", "((", "a]b", "'", "*/*/*", "a|", "not(", "text()=",
+		"a[b/text()='it\\'s']",
+		"\xff\xfe", "a\x00b", "ε", "京都/市",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("printer not a fixpoint: %q -> %q -> %q", src, s1, s2)
+		}
+	})
+}

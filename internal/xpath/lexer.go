@@ -1,0 +1,238 @@
+package xpath
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNumber // integer, for position()=k
+	tokSlash  // /
+	tokDSlash // //
+	tokStar   // *
+	tokUnion  // |
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokEq     // =
+	tokDot    // .
+	tokText   // text()
+	tokPos    // position()
+	tokAnd    // and
+	tokOr     // or
+	tokNot    // not
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "label"
+	case tokString:
+		return "string constant"
+	case tokNumber:
+		return "number"
+	case tokSlash:
+		return "'/'"
+	case tokDSlash:
+		return "'//'"
+	case tokStar:
+		return "'*'"
+	case tokUnion:
+		return "'|'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokEq:
+		return "'='"
+	case tokDot:
+		return "'.'"
+	case tokText:
+		return "text()"
+	case tokPos:
+		return "position()"
+	case tokAnd:
+		return "'and'"
+	case tokOr:
+		return "'or'"
+	case tokNot:
+		return "'not'"
+	default:
+		return fmt.Sprintf("tok(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier name, string value or number literal
+	pos  int    // byte offset in the input
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; queries are short so this is both
+// simple and fast.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{kind: tokDSlash, pos: start}, nil
+		}
+		return token{kind: tokSlash, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokUnion, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBrack, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBrack, pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, pos: start}, nil
+	case '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case '\'', '"':
+		l.pos++
+		var val []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("xpath: unterminated string constant at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == c {
+				// A doubled quote is an escaped literal quote (SQL
+				// style): 'it''s' denotes it's.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == c {
+					val = append(val, c)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			val = append(val, ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: string(val), pos: start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	}
+	// Multibyte identifiers: decode the rune properly — classifying the
+	// raw byte would mistake invalid UTF-8 lead bytes for letters and
+	// produce empty tokens forever.
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	if r == utf8.RuneError && size <= 1 {
+		return token{}, fmt.Errorf("xpath: invalid UTF-8 at offset %d", l.pos)
+	}
+	if isNameStart(r) {
+		l.pos += size
+		for l.pos < len(l.src) {
+			r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isNameChar(r) {
+				break
+			}
+			l.pos += sz
+		}
+		word := l.src[start:l.pos]
+		switch word {
+		case "and":
+			return token{kind: tokAnd, pos: start}, nil
+		case "or":
+			return token{kind: tokOr, pos: start}, nil
+		case "not":
+			return token{kind: tokNot, pos: start}, nil
+		case "text":
+			if l.eatParens() {
+				return token{kind: tokText, pos: start}, nil
+			}
+			return token{kind: tokIdent, text: word, pos: start}, nil
+		case "position":
+			if l.eatParens() {
+				return token{kind: tokPos, pos: start}, nil
+			}
+			return token{kind: tokIdent, text: word, pos: start}, nil
+		default:
+			return token{kind: tokIdent, text: word, pos: start}, nil
+		}
+	}
+	return token{}, fmt.Errorf("xpath: unexpected character %q at offset %d", c, l.pos)
+}
+
+// eatParens consumes "()" (no spaces inside) after text/position.
+func (l *lexer) eatParens() bool {
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '(' && l.src[l.pos+1] == ')' {
+		l.pos += 2
+		return true
+	}
+	return false
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,386 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses an Xreg query in the concrete syntax:
+//
+//	query  := concat ('|' concat)*
+//	concat := postfix (('/' | '//') postfix)*
+//	postfix:= primary ('*' | '[' pred ']')*
+//	primary:= label | '*' | '.' | '(' query ')'
+//	pred   := conj ('or' conj)*
+//	conj   := unary ('and' unary)*
+//	unary  := 'not' '(' pred ')' | '(' pred ')' | test
+//	test   := query ['/' 'text()' '=' const]
+//	       |  query ['/' 'position()' '=' int]
+//	       |  'text()' '=' const | 'position()' '=' int
+//
+// '*' is a wildcard in step position and the Kleene star postfix otherwise
+// (so a/* is a wildcard step while (a/b)* and a* are closures). '//' is
+// desugared to /(*)*/ per §2.1 of the paper: p//q ≡ p/(⋃Ele)*/q.
+func Parse(src string) (Path, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	// A leading '/' or '//' applies to an implicit ε context step.
+	var q Path
+	switch {
+	case p.eat(tokDSlash):
+		rest, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		q = &Seq{Left: &Star{Sub: Wildcard{}}, Right: rest}
+	case p.eat(tokSlash):
+		rest, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		q = rest
+	default:
+		qq, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		q = qq
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s", p.peek().kind)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for fixtures.
+func MustParse(src string) Path {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParsePred parses a standalone filter expression (the q of Q[q]).
+func ParsePred(src string) (Pred, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.pred()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s", p.peek().kind)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) eat(k tokKind) bool {
+	if p.toks[p.i].kind == k {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (Path, error) {
+	left, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokUnion) {
+		right, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		left = &Union{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) concat() (Path, error) {
+	left, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eat(tokSlash):
+			right, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			left = &Seq{Left: left, Right: right}
+		case p.eat(tokDSlash):
+			right, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			left = &Seq{Left: &Seq{Left: left, Right: &Star{Sub: Wildcard{}}}, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) postfix() (Path, error) {
+	prim, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eat(tokStar):
+			prim = &Star{Sub: prim}
+		case p.eat(tokLBrack):
+			cond, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat(tokRBrack) {
+				return nil, p.errf("expected ']', got %s", p.peek().kind)
+			}
+			prim = &Filter{Path: prim, Cond: cond}
+		default:
+			return prim, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Path, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.i++
+		return &Label{Name: t.text}, nil
+	case tokStar:
+		p.i++
+		return Wildcard{}, nil
+	case tokDot:
+		p.i++
+		return Empty{}, nil
+	case tokLParen:
+		p.i++
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(tokRParen) {
+			return nil, p.errf("expected ')', got %s", p.peek().kind)
+		}
+		return q, nil
+	default:
+		return nil, p.errf("expected a step, got %s", t.kind)
+	}
+}
+
+func (p *parser) pred() (Pred, error) {
+	left, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokOr) {
+		right, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) conj() (Pred, error) {
+	left, err := p.unaryPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokAnd) {
+		right, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unaryPred() (Pred, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNot:
+		p.i++
+		if !p.eat(tokLParen) {
+			return nil, p.errf("expected '(' after 'not'")
+		}
+		sub, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(tokRParen) {
+			return nil, p.errf("expected ')' closing 'not', got %s", p.peek().kind)
+		}
+		return &Not{Sub: sub}, nil
+	case tokLParen:
+		// Ambiguity: '(' may open a boolean group or a path. Try the
+		// boolean reading first; on failure, backtrack to a path test.
+		save := p.i
+		p.i++
+		sub, err := p.pred()
+		if err == nil && p.eat(tokRParen) && p.boundaryAfterPredGroup() {
+			return sub, nil
+		}
+		p.i = save
+		return p.pathTest()
+	case tokText:
+		p.i++
+		if !p.eat(tokEq) {
+			return nil, p.errf("expected '=' after text()")
+		}
+		return p.textRHS(Empty{})
+	case tokPos:
+		p.i++
+		if !p.eat(tokEq) {
+			return nil, p.errf("expected '=' after position()")
+		}
+		return p.posRHS(Empty{})
+	default:
+		return p.pathTest()
+	}
+}
+
+// boundaryAfterPredGroup reports whether the token after a parsed
+// parenthesized predicate is compatible with it being a boolean group.
+// If a path continuation follows (e.g. '(parent/patient)*/record...'),
+// the parenthesis must be re-read as a path.
+func (p *parser) boundaryAfterPredGroup() bool {
+	switch p.peek().kind {
+	case tokAnd, tokOr, tokRBrack, tokRParen, tokEOF:
+		return true
+	default:
+		return false
+	}
+}
+
+// pathTest parses 'query' optionally ending in /text()='c' or
+// /position()=k. The lexer has already turned a trailing "/text()" into
+// tokSlash tokText.
+func (p *parser) pathTest() (Pred, error) {
+	q, err := p.predPath()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// predPath parses a path inside a predicate, handling the text()/position()
+// tails at any concat boundary, e.g. a/b/text()='c'.
+func (p *parser) predPath() (Pred, error) {
+	left, err := p.predConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokUnion) {
+		rightP, err := p.predConcat()
+		if err != nil {
+			return nil, err
+		}
+		rp, okR := rightP.(*Exists)
+		lp, okL := left.(*Exists)
+		if !okR || !okL {
+			return nil, p.errf("text()/position() tests cannot be operands of '|' (use 'or')")
+		}
+		left = &Exists{Path: &Union{Left: lp.Path, Right: rp.Path}}
+	}
+	return left, nil
+}
+
+// predConcat parses postfix ('/' postfix)* and recognizes '/text()=' and
+// '/position()=' tails.
+func (p *parser) predConcat() (Pred, error) {
+	var path Path
+	if p.eat(tokDSlash) {
+		// Leading '//' inside a filter: descendant-or-self from the
+		// context node, e.g. a[//b].
+		right, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		path = &Seq{Left: &Star{Sub: Wildcard{}}, Right: right}
+	} else {
+		var err error
+		path, err = p.postfix()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch {
+		case p.eat(tokSlash):
+			if p.eat(tokText) {
+				if !p.eat(tokEq) {
+					return nil, p.errf("expected '=' after text()")
+				}
+				return p.textRHS(path)
+			}
+			if p.eat(tokPos) {
+				if !p.eat(tokEq) {
+					return nil, p.errf("expected '=' after position()")
+				}
+				return p.posRHS(path)
+			}
+			right, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			path = &Seq{Left: path, Right: right}
+		case p.eat(tokDSlash):
+			right, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			path = &Seq{Left: &Seq{Left: path, Right: &Star{Sub: Wildcard{}}}, Right: right}
+		default:
+			return &Exists{Path: path}, nil
+		}
+	}
+}
+
+func (p *parser) textRHS(path Path) (Pred, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected string constant after text()=, got %s", t.kind)
+	}
+	p.i++
+	return &TextEq{Path: path, Value: t.text}, nil
+}
+
+func (p *parser) posRHS(path Path) (Pred, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return nil, p.errf("expected integer after position()=, got %s", t.kind)
+	}
+	p.i++
+	k, err := strconv.Atoi(t.text)
+	if err != nil || k < 1 {
+		return nil, p.errf("position()=%s: position must be a positive integer", t.text)
+	}
+	return &PosEq{Path: path, K: k}, nil
+}

@@ -1,0 +1,272 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]string{
+		"a":                      "a",
+		"a/b":                    "a/b",
+		"a/b/c":                  "a/b/c",
+		"a | b":                  "a | b",
+		"a/b | c":                "a/b | c",
+		"(a | b)/c":              "(a | b)/c",
+		"*":                      "*",
+		".":                      ".",
+		"a/*":                    "a/*",
+		"a*":                     "a*",
+		"(a/b)*":                 "(a/b)*",
+		"(parent/patient)*":      "(parent/patient)*",
+		"a[b]":                   "a[b]",
+		"a[b/c]":                 "a[b/c]",
+		"a[not(b)]":              "a[not(b)]",
+		"a[b and c]":             "a[b and c]",
+		"a[b or c]":              "a[b or c]",
+		"a[b and c or d]":        "a[b and c or d]",
+		"a[(b or c) and d]":      "a[(b or c) and d]",
+		"a[text()='x']":          "a[text()='x']",
+		`a[text()="x"]`:          "a[text()='x']",
+		"a[b/text()='x']":        "a[b/text()='x']",
+		"a[b/c/text()='x y']":    "a[b/c/text()='x y']",
+		"a[position()=3]":        "a[position()=3]",
+		"a[b/position()=2]":      "a[b/position()=2]",
+		"a[b[c]]":                "a[b[c]]",
+		"a[b[c/text()='v']]":     "a[b[c/text()='v']]",
+		"a[(b/c)*/d]":            "a[(b/c)*/d]",
+		"a[b | c]":               "a[b | c]",
+		"a//b":                   "a/**/b",
+		"//a":                    "**/a",
+		"/a":                     "a",
+		"a//b//c":                "a/**/b/**/c",
+		"a[//b]":                 "a[**/b]",
+		"a[.//b]":                "a[./**/b]",
+		"a/**":                   "a/**",
+		".[b]":                   ".[b]",
+		"a[b][c]":                "a[b][c]",
+		"a[*/b]":                 "a[*/b]",
+		"(a)":                    "a",
+		"((a/b))*":               "(a/b)*",
+		"department/patient":     "department/patient",
+		"a[not(b) and not(c/d)]": "a[not(b) and not(c/d)]",
+		"a[not(text()='v')]":     "a[not(text()='v')]",
+		"text_label/position-el": "text_label/position-el",
+		"a[b/text()='it''s ok']": "a[b/text()='it' | s/text()=' ok']", // see below
+	}
+	delete(cases, "a[b/text()='it''s ok']") // adjacent quotes are two strings; not supported
+	for in, want := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got := q.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a/",
+		"a//",
+		"/",
+		"a[",
+		"a[]",
+		"a]",
+		"a[b",
+		"(a",
+		"a)",
+		"a[text()]",
+		"a[text()=]",
+		"a[text()=b]",
+		"a[position()='x']",
+		"a[position()=0]",
+		"a[not b]",
+		"a[b and]",
+		"a b",
+		"a[b/text()='unterminated]",
+		"a$b",
+		"a[(b | text()='v')]",
+	}
+	for _, c := range cases {
+		if q, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): want error, got %v", c, q)
+		}
+	}
+}
+
+func TestPrintParseFixpoint(t *testing.T) {
+	// Printing then reparsing must be a fixpoint (idempotent printer).
+	inputs := []string{
+		"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+		"patient[*/(**)/record/diagnosis/text()='heart disease']",
+		"(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']",
+		"a[b and (c or not(d/e))] | f/(g/h)*",
+		"a[b[c[d]]]",
+		"a/** | b",
+		"a[b/position()=2 and text()='v' or not(c)]",
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Errorf("printer not a fixpoint: %q -> %q -> %q", in, s1, s2)
+		}
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := MustParse("a/(b/c)*[d and not(e)]")
+	b := MustParse("a/(b/c)*[d and not(e)]")
+	if !Equal(a, b) {
+		t.Error("identical queries not Equal")
+	}
+	c := MustParse("a/(b/c)*[d and not(f)]")
+	if Equal(a, c) {
+		t.Error("different queries Equal")
+	}
+	if !Equal(MustParse("a//b"), MustParse("a/**/b")) {
+		t.Error("// must desugar to (*)*")
+	}
+}
+
+func TestInFragmentX(t *testing.T) {
+	inX := []string{
+		"a/b[c]",
+		"a//b",
+		"department/patient[visit//diagnosis/text()='flu']",
+		"a[not(b//c) and d]",
+		"a/**",
+	}
+	for _, s := range inX {
+		if !InFragmentX(MustParse(s)) {
+			t.Errorf("InFragmentX(%q) = false, want true", s)
+		}
+	}
+	notInX := []string{
+		"(a/b)*",
+		"a/(b)*",
+		"a[(b/c)*/d]",
+		"(patient/parent)*/patient",
+		"a[b/(c)*/text()='v']",
+	}
+	for _, s := range notInX {
+		if InFragmentX(MustParse(s)) {
+			t.Errorf("InFragmentX(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := MustParse("a").Size(); got != 1 {
+		t.Errorf("Size(a) = %d", got)
+	}
+	if got := MustParse("a/b").Size(); got != 3 {
+		t.Errorf("Size(a/b) = %d", got)
+	}
+	q := MustParse("a[b and text()='v']")
+	// Filter(1) + a(1) + And(1) + Exists(1) + b(1) + TextEq(1) + Empty(1) = 7
+	if got := q.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+	// Size must grow strictly under composition.
+	small := MustParse("(a/b)*")
+	big := MustParse("(a/b)*/c[d]")
+	if big.Size() <= small.Size() {
+		t.Errorf("sizes: big %d <= small %d", big.Size(), small.Size())
+	}
+}
+
+func TestPaperExampleQueries(t *testing.T) {
+	// Example 2.1: regular XPath query not expressible in X.
+	q := MustParse("department/patient[q0 and (q1/(q1)*)]/pname")
+	if InFragmentX(q) {
+		t.Error("Example 2.1-shaped query must not be in X")
+	}
+	// Example 1.1: the view query with wildcard and //.
+	v := MustParse("patient[*//record/diagnosis/text()='heart disease']")
+	f, ok := v.(*Filter)
+	if !ok {
+		t.Fatalf("want Filter at top, got %T", v)
+	}
+	if !InFragmentX(f) {
+		t.Error("Example 1.1 query is in X")
+	}
+	// Example 4.1 query Q0.
+	q0 := MustParse("(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text()='heart disease']")
+	if InFragmentX(q0) {
+		t.Error("Q0 uses general Kleene star; not in X")
+	}
+	if q0.Size() == 0 {
+		t.Error("size must be positive")
+	}
+}
+
+func TestParsePredStandalone(t *testing.T) {
+	p, err := ParsePred("a/b and not(text()='v')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*And); !ok {
+		t.Errorf("got %T, want *And", p)
+	}
+	if _, err := ParsePred("a and"); err == nil {
+		t.Error("want error for incomplete pred")
+	}
+}
+
+func TestUnionInsidePredicatePath(t *testing.T) {
+	q := MustParse("a[b | c/d]")
+	f := q.(*Filter)
+	ex, ok := f.Cond.(*Exists)
+	if !ok {
+		t.Fatalf("cond = %T", f.Cond)
+	}
+	if _, ok := ex.Path.(*Union); !ok {
+		t.Fatalf("pred path = %T, want *Union", ex.Path)
+	}
+	if !strings.Contains(q.String(), "|") {
+		t.Errorf("print lost union: %q", q.String())
+	}
+}
+
+func TestKeywordsNotLabels(t *testing.T) {
+	// 'text' and 'position' without () are ordinary labels.
+	q := MustParse("text/position")
+	if q.String() != "text/position" {
+		t.Errorf("got %q", q.String())
+	}
+}
+
+func TestQuoteEscaping(t *testing.T) {
+	// Doubled quotes denote literal quotes; values with both quote kinds
+	// round-trip through the printer.
+	q := MustParse(`a[text()='it''s']`)
+	te := q.(*Filter).Cond.(*TextEq)
+	if te.Value != "it's" {
+		t.Fatalf("value = %q", te.Value)
+	}
+	mixed := &Filter{Path: &Label{Name: "a"}, Cond: &TextEq{Path: Empty{}, Value: `both ' and "`}}
+	s := mixed.String()
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("printed %q does not reparse: %v", s, err)
+	}
+	if got := back.(*Filter).Cond.(*TextEq).Value; got != `both ' and "` {
+		t.Errorf("round trip value = %q", got)
+	}
+	// Unterminated after an escape still errors.
+	if _, err := Parse(`a[text()='oops'']`); err == nil {
+		t.Error("dangling escaped quote must fail")
+	}
+}

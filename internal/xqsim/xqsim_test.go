@@ -1,0 +1,51 @@
+package xqsim_test
+
+import (
+	"testing"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/refeval"
+	"smoqe/internal/xpath"
+	"smoqe/internal/xqsim"
+)
+
+func TestMatchesReference(t *testing.T) {
+	doc := hospital.SampleDocument()
+	queries := []string{
+		".",
+		"department/patient/pname",
+		"//diagnosis",
+		"department/patient[visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+		"department/patient[not(visit)]",
+		hospital.RXA, hospital.RXB, hospital.RXC,
+		hospital.QExample21,
+		"department/patient[visit/position()=1]",
+	}
+	for _, src := range queries {
+		q := xpath.MustParse(src)
+		want := refeval.Eval(q, doc.Root)
+		got := xqsim.Eval(q, doc.Root)
+		if len(got) != len(want) {
+			t.Errorf("%q: got %d nodes, want %d", src, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%q: result %d differs", src, i)
+			}
+		}
+	}
+}
+
+func TestStarTerminates(t *testing.T) {
+	doc := hospital.SampleDocument()
+	q := xpath.MustParse("(*)*")
+	got := xqsim.Eval(q, doc.Root)
+	if len(got) != doc.ComputeStats().Elements {
+		t.Errorf("(*)* returned %d, want all %d elements", len(got), doc.ComputeStats().Elements)
+	}
+	// ε-star terminates immediately.
+	if got := xqsim.Eval(xpath.MustParse(".*"), doc.Root); len(got) != 1 {
+		t.Errorf(".*: %d", len(got))
+	}
+}
