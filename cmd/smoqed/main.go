@@ -1,0 +1,119 @@
+// Command smoqed is the SMOQE query daemon: an HTTP/JSON service that
+// answers regular XPath queries over registered documents and views
+// without materializing the views. Plans (parse → rewrite → compile) are
+// cached in an LRU keyed by (view, query, engine); evaluation runs
+// concurrently on pooled HyPE engine clones.
+//
+// Usage:
+//
+//	smoqed [-addr :8640] [-cache 256] [-timeout 30s]
+//	       [-doc name=file.xml ...]
+//	       [-view name=spec.view,source.dtd,target.dtd ...]
+//	       [-sample]
+//
+// The API (see docs/SERVER.md):
+//
+//	POST /query  {"doc":"d","view":"v","query":"...","engine":"hype"}
+//	GET|POST /docs, /views
+//	GET  /stats, /healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smoqe/internal/hospital"
+	"smoqe/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8640", "listen address")
+	cacheSize := flag.Int("cache", 256, "plan cache capacity (plans)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
+	maxPaths := flag.Int("maxpaths", 1000, "maximum node paths returned per response")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
+	sample := flag.Bool("sample", false, "preload the paper's hospital sample document and σ0 view")
+
+	var docFlags, viewFlags multiFlag
+	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
+	flag.Var(&viewFlags, "view", "register a view at startup: name=spec.view,source.dtd,target.dtd (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxPaths:       *maxPaths,
+	})
+
+	if *sample {
+		if _, err := srv.Registry().RegisterDocument("hospital", hospital.SampleDocument()); err != nil {
+			log.Fatalf("smoqed: -sample: %v", err)
+		}
+		if _, err := srv.RegisterView("sigma0", hospital.Sigma0()); err != nil {
+			log.Fatalf("smoqed: -sample: %v", err)
+		}
+		log.Printf("preloaded sample document %q and view %q", "hospital", "sigma0")
+	}
+	for _, spec := range docFlags {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("smoqed: -doc %q: want name=file.xml", spec)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("smoqed: -doc %s: %v", name, err)
+		}
+		entry, err := srv.Registry().RegisterDocumentXML(name, string(raw))
+		if err != nil {
+			log.Fatalf("smoqed: -doc %s: %v", name, err)
+		}
+		log.Printf("registered document %q (%d elements)", name, entry.Stats.Elements)
+	}
+	for _, spec := range viewFlags {
+		name, rest, ok := strings.Cut(spec, "=")
+		parts := strings.Split(rest, ",")
+		if !ok || len(parts) != 3 {
+			log.Fatalf("smoqed: -view %q: want name=spec.view,source.dtd,target.dtd", spec)
+		}
+		files := make([]string, 3)
+		for i, p := range parts {
+			raw, err := os.ReadFile(strings.TrimSpace(p))
+			if err != nil {
+				log.Fatalf("smoqed: -view %s: %v", name, err)
+			}
+			files[i] = string(raw)
+		}
+		entry, err := srv.RegisterViewSpec(name, files[0], files[1], files[2])
+		if err != nil {
+			log.Fatalf("smoqed: -view %s: %v", name, err)
+		}
+		log.Printf("registered view %q (recursive=%v, |σ|=%d)", name, entry.View.IsRecursive(), entry.View.Size())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("smoqed listening on %s (cache %d plans, timeout %s)", *addr, *cacheSize, *timeout)
+	if err := srv.Serve(ctx, *addr, *grace); err != nil {
+		log.Fatalf("smoqed: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("shut down after %d requests (%d failures), cache %d/%d hits",
+		st.Requests, st.Failures, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -26,7 +26,7 @@ dtd public {
 
 const publicSpec = `
 view public {
-  // One case per exposed patient; only family-line diagnoses, no shape.
+  # One case per exposed patient; only family-line diagnoses, no shape.
   hospital/case = patient;
   case/diagnosis = (parent/patient)*/record/diagnosis;
 }`

@@ -41,7 +41,10 @@ func TestBatchEvaluation(t *testing.T) {
 	}
 	for i, src := range queries {
 		if i >= len(results) {
-			break
+			// A short result slice IS the dropped-bucket bug this test
+			// exists to catch — fail loudly, don't skip the tail.
+			t.Fatalf("results truncated: bucket %d (query %q) missing, got %d buckets for %d queries",
+				i, src, len(results), len(queries))
 		}
 		want := refeval.Eval(xpath.MustParse(src), doc.Root)
 		got := results[i]

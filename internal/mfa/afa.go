@@ -42,6 +42,8 @@ func (p Pred) Holds(n *xmltree.Node) bool {
 	case PredText:
 		return n.TextContent() == p.Text
 	case PredPos:
+		// Node.Pos is the element ordinal among element siblings, matching
+		// XPath semantics even in mixed content (text siblings don't count).
 		return n.Pos == p.K
 	default:
 		return false

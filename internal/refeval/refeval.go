@@ -151,6 +151,8 @@ func (e *evaluator) pred(p xpath.Pred, ctx *xmltree.Node) bool {
 		}
 		return false
 	case *xpath.PosEq:
+		// Pos is the element ordinal among element siblings (XPath
+		// semantics; text siblings don't count in mixed content).
 		for n := range e.path(t.Path, singleton(ctx)).m {
 			if n.Pos == t.K {
 				return true

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"smoqe"
+)
+
+// PlanKey identifies one cached query plan: the view the query is posed
+// against (empty for direct queries on the source), the query text, and
+// the engine variant. Two requests with the same key share one
+// PreparedQuery — and therefore skip the O(|Q|²|σ||D_V|²) rewrite — no
+// matter which document they target: a rewritten automaton depends only on
+// the view, and the per-document OptHyPE pools live inside the
+// PreparedQuery keyed by index.
+type PlanKey struct {
+	View   string
+	Query  string
+	Engine EngineKind
+}
+
+// EngineKind selects the evaluation strategy for a request.
+type EngineKind string
+
+const (
+	// EngineHyPE is plain single-pass evaluation (the default).
+	EngineHyPE EngineKind = "hype"
+	// EngineOptHyPE adds index-driven subtree skipping; the document's
+	// OptHyPE-C index is built lazily on first use.
+	EngineOptHyPE EngineKind = "opthype"
+)
+
+// CacheStats is a snapshot of plan-cache effectiveness counters.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// PlanCache is an LRU cache of prepared query plans with single-flight
+// plan building: when several requests miss on the same key concurrently,
+// only one runs the parse/rewrite/compile pipeline and the others wait for
+// its result. Safe for concurrent use.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[PlanKey]*list.Element
+	building  map[PlanKey]*buildCall
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  PlanKey
+	plan *smoqe.PreparedQuery
+}
+
+type buildCall struct {
+	done chan struct{}
+	plan *smoqe.PreparedQuery
+	err  error
+}
+
+// NewPlanCache returns a cache holding at most capacity plans (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[PlanKey]*list.Element),
+		building: make(map[PlanKey]*buildCall),
+	}
+}
+
+// GetOrBuild returns the plan cached under key, building it with build on
+// a miss. The second result reports whether the plan came from the cache
+// (true) or was built by this or a concurrent call (false). Build errors
+// are not cached: a later request retries.
+func (c *PlanCache) GetOrBuild(key PlanKey, build func() (*smoqe.PreparedQuery, error)) (*smoqe.PreparedQuery, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		plan := el.Value.(*cacheEntry).plan
+		c.mu.Unlock()
+		return plan, true, nil
+	}
+	c.misses++
+	if call, ok := c.building[key]; ok {
+		// Someone else is already building this plan; wait for it.
+		c.mu.Unlock()
+		<-call.done
+		return call.plan, false, call.err
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	call.plan, call.err = build()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insert(key, call.plan)
+	}
+	c.mu.Unlock()
+	return call.plan, false, call.err
+}
+
+// insert adds the plan under key and evicts the least recently used entry
+// if the cache is over capacity. Caller holds c.mu.
+func (c *PlanCache) insert(key PlanKey, plan *smoqe.PreparedQuery) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// RemoveView drops every cached plan rewritten over the named view. Called
+// when a view is re-registered: the old plans answer the old definition.
+func (c *PlanCache) RemoveView(view string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.View == view {
+			c.ll.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smoqe"
+)
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	build := func(src string) func() (*smoqe.PreparedQuery, error) {
+		return func() (*smoqe.PreparedQuery, error) { return smoqe.PrepareString(src) }
+	}
+	k := func(q string) PlanKey { return PlanKey{Query: q, Engine: EngineHyPE} }
+
+	p1, hit, err := c.GetOrBuild(k("a"), build("a"))
+	if err != nil || hit {
+		t.Fatalf("first build: hit=%v err=%v", hit, err)
+	}
+	if p2, hit, _ := c.GetOrBuild(k("a"), build("a")); !hit || p2 != p1 {
+		t.Fatalf("second get: hit=%v same=%v", hit, p2 == p1)
+	}
+	c.GetOrBuild(k("b"), build("b"))
+	c.GetOrBuild(k("a"), build("a")) // refresh a, so b is now LRU
+	c.GetOrBuild(k("c"), build("c")) // evicts b
+	if _, hit, _ := c.GetOrBuild(k("a"), build("a")); !hit {
+		t.Error("a should have survived (refreshed before eviction)")
+	}
+	// Checked after a: a miss re-inserts b and would evict a.
+	if _, hit, _ := c.GetOrBuild(k("b"), build("b")); hit {
+		t.Error("b should have been evicted")
+	}
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1", st.Evictions)
+	}
+	if st.Hits < 2 || st.Misses < 3 {
+		t.Errorf("counters look wrong: %+v", st)
+	}
+	if st.Size > st.Capacity {
+		t.Errorf("size %d over capacity %d", st.Size, st.Capacity)
+	}
+}
+
+func TestPlanCacheErrorNotCached(t *testing.T) {
+	c := NewPlanCache(4)
+	calls := 0
+	key := PlanKey{Query: "broken", Engine: EngineHyPE}
+	bad := func() (*smoqe.PreparedQuery, error) { calls++; return nil, fmt.Errorf("boom") }
+	if _, _, err := c.GetOrBuild(key, bad); err == nil {
+		t.Fatal("want error")
+	}
+	if _, _, err := c.GetOrBuild(key, bad); err == nil {
+		t.Fatal("want error again (errors must not be cached)")
+	}
+	if calls != 2 {
+		t.Errorf("build called %d times, want 2", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed builds must not occupy cache slots, len=%d", c.Len())
+	}
+}
+
+// TestPlanCacheSingleFlight: concurrent misses on one key build the plan
+// once and share it.
+func TestPlanCacheSingleFlight(t *testing.T) {
+	c := NewPlanCache(8)
+	var mu sync.Mutex
+	builds := 0
+	gate := make(chan struct{})
+	build := func() (*smoqe.PreparedQuery, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		<-gate // hold every builder until all goroutines have arrived
+		return smoqe.PrepareString("//x")
+	}
+	key := PlanKey{Query: "//x", Engine: EngineHyPE}
+	const n = 8
+	var wg sync.WaitGroup
+	plans := make([]*smoqe.PreparedQuery, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.GetOrBuild(key, build)
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("plan built %d times, want 1 (single-flight)", builds)
+	}
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Errorf("goroutine %d got a different plan instance", i)
+		}
+	}
+}
+
+func TestPlanCacheRemoveView(t *testing.T) {
+	c := NewPlanCache(8)
+	mk := func(view, q string) PlanKey { return PlanKey{View: view, Query: q, Engine: EngineHyPE} }
+	for _, k := range []PlanKey{mk("v1", "a"), mk("v1", "b"), mk("v2", "a"), mk("", "a")} {
+		if _, _, err := c.GetOrBuild(k, func() (*smoqe.PreparedQuery, error) { return smoqe.PrepareString("a") }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RemoveView("v1")
+	if c.Len() != 2 {
+		t.Fatalf("after RemoveView: len=%d, want 2", c.Len())
+	}
+	if _, hit, _ := c.GetOrBuild(mk("v2", "a"), func() (*smoqe.PreparedQuery, error) { return smoqe.PrepareString("a") }); !hit {
+		t.Error("v2 plan should have survived")
+	}
+	if _, hit, _ := c.GetOrBuild(mk("", "a"), func() (*smoqe.PreparedQuery, error) { return smoqe.PrepareString("a") }); !hit {
+		t.Error("viewless plan should have survived")
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Handler returns the HTTP API of the server:
+//
+//	POST /query  {"doc","view","query","engine","paths"} → QueryResponse
+//	GET  /docs                                           → registered documents
+//	POST /docs   {"name","xml"}                          → register a document
+//	GET  /views                                          → registered views
+//	POST /views  {"name","spec","source_dtd","target_dtd"} → register a view
+//	GET  /stats                                          → Stats
+//	GET  /healthz                                        → 200 ok
+//
+// Bodies are JSON; errors come back as {"error": "..."} with a 4xx/5xx
+// status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("POST /docs", s.handleRegisterDoc)
+	mux.HandleFunc("GET /views", s.handleListViews)
+	mux.HandleFunc("POST /views", s.handleRegisterView)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Serve runs the HTTP API on addr until ctx is canceled, then shuts down
+// gracefully (in-flight requests get up to grace to finish).
+func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Query(r.Context(), req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		case strings.Contains(err.Error(), "not registered"):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type docInfo struct {
+	Name     string `json:"name"`
+	Elements int    `json:"elements"`
+	Texts    int    `json:"texts"`
+	MaxDepth int    `json:"max_depth"`
+}
+
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Documents()
+	out := make([]docInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, docInfo{
+			Name:     e.Name,
+			Elements: e.Stats.Elements,
+			Texts:    e.Stats.Texts,
+			MaxDepth: e.Stats.MaxDepth,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRegisterDoc(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		XML  string `json:"xml"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	entry, err := s.reg.RegisterDocumentXML(req.Name, req.XML)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, docInfo{
+		Name:     entry.Name,
+		Elements: entry.Stats.Elements,
+		Texts:    entry.Stats.Texts,
+		MaxDepth: entry.Stats.MaxDepth,
+	})
+}
+
+type viewInfo struct {
+	Name      string `json:"name"`
+	Recursive bool   `json:"recursive"`
+	Size      int    `json:"size"`
+}
+
+func (s *Server) handleListViews(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Views()
+	out := make([]viewInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, viewInfo{Name: e.Name, Recursive: e.View.IsRecursive(), Size: e.View.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRegisterView(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name      string `json:"name"`
+		Spec      string `json:"spec"`
+		SourceDTD string `json:"source_dtd"`
+		TargetDTD string `json:"target_dtd"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	entry, err := s.RegisterViewSpec(req.Name, req.Spec, req.SourceDTD, req.TargetDTD)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, viewInfo{
+		Name:      entry.Name,
+		Recursive: entry.View.IsRecursive(),
+		Size:      entry.View.Size(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

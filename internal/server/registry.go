@@ -1,0 +1,175 @@
+// Package server is the thread-safe serving layer of SMOQE: a registry of
+// documents and views, an LRU cache of prepared query plans, and an
+// HTTP/JSON front end (see cmd/smoqed). It turns the library's
+// parse → rewrite → compile → evaluate pipeline into a multi-tenant query
+// service: many user groups fire rewritten queries at shared source
+// documents (the paper's §1 access-control scenario), the expensive
+// rewrite runs once per distinct (view, query) pair, and evaluation runs
+// concurrently on pooled engine clones.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"smoqe"
+)
+
+// DocEntry is one registered document. The document is cloned on
+// registration (copy-on-register), so no caller holds a reference to the
+// tree the server evaluates against — registration and evaluation can
+// never race on shared nodes. The subtree index for OptHyPE evaluation is
+// built lazily on first indexed use and then shared by every engine clone.
+type DocEntry struct {
+	Name  string
+	Doc   *smoqe.Document
+	Stats smoqe.DocumentStats
+
+	once sync.Once
+	idx  *smoqe.Index
+}
+
+// Index returns the document's OptHyPE-C subtree index, building it on
+// first use. Safe for concurrent callers; the index is immutable once
+// built.
+func (e *DocEntry) Index() *smoqe.Index {
+	e.once.Do(func() { e.idx = smoqe.BuildIndex(e.Doc, true) })
+	return e.idx
+}
+
+// ViewEntry is one registered view. Views are effectively immutable after
+// parsing; the entry copies the top-level structure on registration so a
+// caller mutating its View afterwards cannot affect the server.
+type ViewEntry struct {
+	Name string
+	View *smoqe.View
+}
+
+// Registry holds the documents and views the server can answer queries
+// against. All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	docs  map[string]*DocEntry
+	views map[string]*ViewEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		docs:  make(map[string]*DocEntry),
+		views: make(map[string]*ViewEntry),
+	}
+}
+
+// RegisterDocument stores a deep copy of doc under name, replacing any
+// previous document with that name.
+func (r *Registry) RegisterDocument(name string, doc *smoqe.Document) (*DocEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: document name must not be empty")
+	}
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("server: document %q is empty", name)
+	}
+	cp := doc.Clone()
+	entry := &DocEntry{Name: name, Doc: cp, Stats: cp.ComputeStats()}
+	r.mu.Lock()
+	r.docs[name] = entry
+	r.mu.Unlock()
+	return entry, nil
+}
+
+// RegisterDocumentXML parses xmlText and registers it under name. The
+// parsed tree is owned exclusively by the registry, so no extra copy is
+// needed.
+func (r *Registry) RegisterDocumentXML(name, xmlText string) (*DocEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: document name must not be empty")
+	}
+	doc, err := smoqe.ParseDocumentString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("server: document %q: %w", name, err)
+	}
+	entry := &DocEntry{Name: name, Doc: doc, Stats: doc.ComputeStats()}
+	r.mu.Lock()
+	r.docs[name] = entry
+	r.mu.Unlock()
+	return entry, nil
+}
+
+// RegisterView stores v under name, replacing any previous view with that
+// name. The view's top-level structure is copied; the annotation queries
+// themselves are immutable after parsing and are shared.
+func (r *Registry) RegisterView(name string, v *smoqe.View) (*ViewEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: view name must not be empty")
+	}
+	if v == nil {
+		return nil, fmt.Errorf("server: view %q is nil", name)
+	}
+	cp := *v
+	cp.Ann = make(map[smoqe.ViewEdge]smoqe.Query, len(v.Ann))
+	for e, q := range v.Ann {
+		cp.Ann[e] = q
+	}
+	entry := &ViewEntry{Name: name, View: &cp}
+	r.mu.Lock()
+	r.views[name] = entry
+	r.mu.Unlock()
+	return entry, nil
+}
+
+// RegisterViewSpec parses the DTDs and the view specification and
+// registers the result under name.
+func (r *Registry) RegisterViewSpec(name, spec, sourceDTD, targetDTD string) (*ViewEntry, error) {
+	src, err := smoqe.ParseDTD(sourceDTD)
+	if err != nil {
+		return nil, fmt.Errorf("server: view %q: source DTD: %w", name, err)
+	}
+	tgt, err := smoqe.ParseDTD(targetDTD)
+	if err != nil {
+		return nil, fmt.Errorf("server: view %q: target DTD: %w", name, err)
+	}
+	v, err := smoqe.ParseView(spec, src, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("server: view %q: %w", name, err)
+	}
+	return r.RegisterView(name, v)
+}
+
+// Document returns the entry registered under name.
+func (r *Registry) Document(name string) (*DocEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.docs[name]
+	return e, ok
+}
+
+// View returns the entry registered under name.
+func (r *Registry) View(name string) (*ViewEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.views[name]
+	return e, ok
+}
+
+// Documents returns the registered document entries (unordered).
+func (r *Registry) Documents() []*DocEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*DocEntry, 0, len(r.docs))
+	for _, e := range r.docs {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Views returns the registered view entries (unordered).
+func (r *Registry) Views() []*ViewEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ViewEntry, 0, len(r.views))
+	for _, e := range r.views {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"smoqe"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the plan-cache capacity in plans (default 256).
+	CacheSize int
+	// RequestTimeout bounds one query evaluation (default 30s; 0 keeps
+	// the default, negative disables the bound).
+	RequestTimeout time.Duration
+	// MaxPaths caps how many node paths a response carries when the
+	// request asks for paths (default 1000).
+	MaxPaths int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxPaths == 0 {
+		c.MaxPaths = 1000
+	}
+	return c
+}
+
+// Server answers regular XPath queries over registered documents and
+// views. It is safe for concurrent use: the registry copy-on-registers,
+// plans are cached and shared, and every evaluation runs on a pooled
+// engine clone.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *PlanCache
+	start time.Time
+
+	requests atomic.Int64
+	failures atomic.Int64
+	visited  atomic.Int64
+	skipped  atomic.Int64
+	afaEvals atomic.Int64
+}
+
+// New returns a server with an empty registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		cache: NewPlanCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+}
+
+// Registry exposes the server's document/view registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the server's plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// RegisterView registers (or replaces) a view and invalidates every cached
+// plan that was rewritten over its previous definition.
+func (s *Server) RegisterView(name string, v *smoqe.View) (*ViewEntry, error) {
+	e, err := s.reg.RegisterView(name, v)
+	if err == nil {
+		s.cache.RemoveView(name)
+	}
+	return e, err
+}
+
+// RegisterViewSpec is RegisterView from textual DTDs and specification.
+func (s *Server) RegisterViewSpec(name, spec, sourceDTD, targetDTD string) (*ViewEntry, error) {
+	e, err := s.reg.RegisterViewSpec(name, spec, sourceDTD, targetDTD)
+	if err == nil {
+		s.cache.RemoveView(name)
+	}
+	return e, err
+}
+
+// QueryRequest asks for one evaluation.
+type QueryRequest struct {
+	// Doc names the registered document to evaluate against.
+	Doc string `json:"doc"`
+	// View optionally names a registered view; the query is then posed on
+	// the view and rewritten to the source (the document never leaves the
+	// server, the view is never materialized).
+	View string `json:"view,omitempty"`
+	// Query is the regular XPath query text.
+	Query string `json:"query"`
+	// Engine selects "hype" (default) or "opthype".
+	Engine EngineKind `json:"engine,omitempty"`
+	// Paths asks for the result nodes' paths, not just counts and IDs.
+	Paths bool `json:"paths,omitempty"`
+}
+
+// QueryResponse is the answer to one QueryRequest.
+type QueryResponse struct {
+	Count    int      `json:"count"`
+	IDs      []int    `json:"ids"`
+	Paths    []string `json:"paths,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+	// Elapsed is the evaluation wall time in microseconds.
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Visited/Skipped/AFAEvals are this run's HyPE statistics.
+	Visited  int `json:"visited_elements"`
+	Skipped  int `json:"skipped_subtrees"`
+	AFAEvals int `json:"afa_evaluations"`
+}
+
+// Query answers one request, honoring ctx (and the configured request
+// timeout) for cancellation.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	s.requests.Add(1)
+	resp, err := s.query(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if req.Query == "" {
+		return nil, fmt.Errorf("server: empty query")
+	}
+	engine := req.Engine
+	switch engine {
+	case "":
+		engine = EngineHyPE
+	case EngineHyPE, EngineOptHyPE:
+	default:
+		return nil, fmt.Errorf("server: unknown engine %q (want %q or %q)", engine, EngineHyPE, EngineOptHyPE)
+	}
+	doc, ok := s.reg.Document(req.Doc)
+	if !ok {
+		return nil, fmt.Errorf("server: document %q not registered", req.Doc)
+	}
+	var view *ViewEntry
+	if req.View != "" {
+		if view, ok = s.reg.View(req.View); !ok {
+			return nil, fmt.Errorf("server: view %q not registered", req.View)
+		}
+	}
+
+	key := PlanKey{View: req.View, Query: req.Query, Engine: engine}
+	plan, hit, err := s.cache.GetOrBuild(key, func() (*smoqe.PreparedQuery, error) {
+		q, err := smoqe.ParseQuery(req.Query)
+		if err != nil {
+			return nil, fmt.Errorf("server: query: %w", err)
+		}
+		if view != nil {
+			return smoqe.PrepareOnView(view.View, q)
+		}
+		return smoqe.Prepare(q)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	before := plan.Stats()
+	start := time.Now()
+	nodes, err := s.evaluate(ctx, plan, doc, engine)
+	if err != nil {
+		return nil, err
+	}
+	after := plan.Stats()
+
+	resp := &QueryResponse{
+		Count:         len(nodes),
+		IDs:           smoqe.IDsOf(nodes),
+		CacheHit:      hit,
+		ElapsedMicros: time.Since(start).Microseconds(),
+		// Under concurrency the delta may include other requests on the
+		// same plan; the aggregate /stats numbers are exact.
+		Visited:  after.Engine.VisitedElements - before.Engine.VisitedElements,
+		Skipped:  after.Engine.SkippedSubtrees - before.Engine.SkippedSubtrees,
+		AFAEvals: after.Engine.AFAEvaluations - before.Engine.AFAEvaluations,
+	}
+	s.visited.Add(int64(resp.Visited))
+	s.skipped.Add(int64(resp.Skipped))
+	s.afaEvals.Add(int64(resp.AFAEvals))
+	if req.Paths {
+		n := len(nodes)
+		if n > s.cfg.MaxPaths {
+			n = s.cfg.MaxPaths
+		}
+		resp.Paths = make([]string, n)
+		for i := 0; i < n; i++ {
+			resp.Paths[i] = nodes[i].Path()
+		}
+	}
+	return resp, nil
+}
+
+// evaluate runs the plan against the document, abandoning the wait (not
+// the work — HyPE has no preemption points) if ctx expires first. The
+// goroutine finishes on its own and returns its pooled engine.
+func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind) ([]*smoqe.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+	}
+	if ctx.Done() == nil {
+		return s.run(plan, doc, engine), nil
+	}
+	ch := make(chan []*smoqe.Node, 1)
+	go func() { ch <- s.run(plan, doc, engine) }()
+	select {
+	case nodes := <-ch:
+		return nodes, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("server: query on %q: %w", doc.Name, ctx.Err())
+	}
+}
+
+func (s *Server) run(plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind) []*smoqe.Node {
+	if engine == EngineOptHyPE {
+		return plan.EvalIndexed(doc.Doc.Root, doc.Index())
+	}
+	return plan.Eval(doc.Doc.Root)
+}
+
+// Stats is the server-wide statistics snapshot served at /stats.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Requests      int64      `json:"requests"`
+	Failures      int64      `json:"failures"`
+	Documents     int        `json:"documents"`
+	Views         int        `json:"views"`
+	Cache         CacheStats `json:"cache"`
+	// Engine statistics aggregated across every evaluation.
+	VisitedElements int64 `json:"visited_elements"`
+	SkippedSubtrees int64 `json:"skipped_subtrees"`
+	AFAEvaluations  int64 `json:"afa_evaluations"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Failures:        s.failures.Load(),
+		Documents:       len(s.reg.Documents()),
+		Views:           len(s.reg.Views()),
+		Cache:           s.cache.Stats(),
+		VisitedElements: s.visited.Load(),
+		SkippedSubtrees: s.skipped.Load(),
+		AFAEvaluations:  s.afaEvals.Load(),
+	}
+}

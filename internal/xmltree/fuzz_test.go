@@ -14,6 +14,8 @@ func FuzzParse(f *testing.F) {
 		"<a \xff='1'/>",
 		"<a><![CDATA[x]]></a>",
 		"<?xml version='1.0'?><a/>",
+		"<a>x&#13;y</a>",
+		"<a>cr\rlf\nend</a>",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -31,6 +33,15 @@ func FuzzParse(f *testing.F) {
 		s1, s2 := doc.ComputeStats(), doc2.ComputeStats()
 		if s1.Elements != s2.Elements || s1.MaxDepth != s2.MaxDepth {
 			t.Fatalf("round trip changed shape: %+v vs %+v (%q -> %q)", s1, s2, src, out)
+		}
+		// Serialization must be a fixpoint: reparsing the output and
+		// serializing again may not change a byte. This is what catches
+		// lossy escaping — a literal "\r" written raw comes back as "\n".
+		if out2 := doc2.XMLString(); out2 != out {
+			t.Fatalf("round trip changed serialization: %q -> %q (src %q)", out, out2, src)
+		}
+		if !equalTree(doc.Root, doc2.Root) {
+			t.Fatalf("round trip changed tree content (%q -> %q)", src, out)
 		}
 	})
 }

@@ -53,7 +53,10 @@ type Node struct {
 	// have none.
 	Children []*Node
 	// Pos is the 1-based position of the node among its parent's children
-	// (counting both element and text children). The root has Pos 1.
+	// of the same kind: for an element it counts only element siblings (the
+	// XPath element ordinal that position()=k predicates test), for a text
+	// node only text siblings. In mixed content <a>hi<b/></a> the b element
+	// therefore has Pos 1, not 2. The root has Pos 1.
 	Pos int
 	// Depth is the number of edges from the root (root has Depth 0).
 	Depth int
@@ -167,6 +170,19 @@ func (d *Document) NodeByID(id int) *Node {
 	return d.nodes[id]
 }
 
+// nextPos returns the 1-based ordinal a new child of kind k would get among
+// parent's existing same-kind children. The scan runs back to front: the
+// nearest same-kind sibling already carries its ordinal, so the loop almost
+// always stops after one or two steps (text nodes never repeat adjacently).
+func nextPos(parent *Node, k Kind) int {
+	for i := len(parent.Children) - 1; i >= 0; i-- {
+		if c := parent.Children[i]; c.Kind == k {
+			return c.Pos + 1
+		}
+	}
+	return 1
+}
+
 // AddElement appends a new element child labeled label to parent and returns
 // it. The parent must belong to this document.
 func (d *Document) AddElement(parent *Node, label string) *Node {
@@ -174,7 +190,7 @@ func (d *Document) AddElement(parent *Node, label string) *Node {
 		Kind:   Element,
 		Label:  label,
 		Parent: parent,
-		Pos:    len(parent.Children) + 1,
+		Pos:    nextPos(parent, Element),
 		Depth:  parent.Depth + 1,
 	}
 	d.adopt(n)
@@ -189,12 +205,46 @@ func (d *Document) AddText(parent *Node, data string) *Node {
 		Kind:   Text,
 		Data:   data,
 		Parent: parent,
-		Pos:    len(parent.Children) + 1,
+		Pos:    nextPos(parent, Text),
 		Depth:  parent.Depth + 1,
 	}
 	d.adopt(n)
 	parent.Children = append(parent.Children, n)
 	return n
+}
+
+// Clone returns a deep copy of the document: fresh nodes with identical
+// IDs, kinds, labels, data, positions and depths. Registries that must not
+// share mutable state with their callers (see internal/server) clone on
+// registration.
+func (d *Document) Clone() *Document {
+	out := &Document{nodes: make([]*Node, len(d.nodes))}
+	for i, n := range d.nodes {
+		out.nodes[i] = &Node{
+			ID:    n.ID,
+			Kind:  n.Kind,
+			Label: n.Label,
+			Data:  n.Data,
+			Pos:   n.Pos,
+			Depth: n.Depth,
+		}
+	}
+	for i, n := range d.nodes {
+		c := out.nodes[i]
+		if n.Parent != nil {
+			c.Parent = out.nodes[n.Parent.ID]
+		}
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for j, ch := range n.Children {
+				c.Children[j] = out.nodes[ch.ID]
+			}
+		}
+	}
+	if d.Root != nil {
+		out.Root = out.nodes[d.Root.ID]
+	}
+	return out
 }
 
 // Walk visits every node of the document in document (preorder) order.

@@ -36,7 +36,7 @@ func Parse(r io.Reader) (*Document, error) {
 			} else {
 				parent := stack[len(stack)-1]
 				n.Parent = parent
-				n.Pos = len(parent.Children) + 1
+				n.Pos = nextPos(parent, Element)
 				n.Depth = parent.Depth + 1
 				d.adopt(n)
 				parent.Children = append(parent.Children, n)
@@ -66,7 +66,7 @@ func Parse(r io.Reader) (*Document, error) {
 				Kind:   Text,
 				Data:   data,
 				Parent: parent,
-				Pos:    len(parent.Children) + 1,
+				Pos:    nextPos(parent, Text),
 				Depth:  parent.Depth + 1,
 			}
 			d.adopt(n)
@@ -172,10 +172,15 @@ func writeNode(w *errWriter, n *Node, indent bool, depth int) {
 	w.WriteString(">")
 }
 
+// textEscaper escapes character data. Carriage returns must go out as
+// character references: an XML parser normalizes a literal "\r" (and
+// "\r\n") to "\n" on input, so only "&#13;" survives a serialize→parse
+// round trip (§2.11 of the XML spec).
 var textEscaper = strings.NewReplacer(
 	"&", "&amp;",
 	"<", "&lt;",
 	">", "&gt;",
+	"\r", "&#13;",
 )
 
 func escapeText(s string) string { return textEscaper.Replace(s) }

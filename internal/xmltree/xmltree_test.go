@@ -125,6 +125,76 @@ func TestEscaping(t *testing.T) {
 	}
 }
 
+func TestCarriageReturnRoundTrip(t *testing.T) {
+	d := NewDocument("a")
+	d.AddText(d.Root, "line1\rline2\r\nline3")
+	out := d.XMLString()
+	if !strings.Contains(out, "&#13;") {
+		t.Fatalf("carriage return not escaped: %q", out)
+	}
+	d2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Root.TextContent(); got != "line1\rline2\r\nline3" {
+		t.Errorf("round trip = %q, want %q", got, "line1\rline2\r\nline3")
+	}
+}
+
+func TestMixedContentPos(t *testing.T) {
+	doc, err := ParseString(`<a>hi<b/>mid<c/><d/>tail</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := doc.Root.ElementChildren()
+	for i, want := range []int{1, 2, 3} {
+		if elems[i].Pos != want {
+			t.Errorf("element %s Pos = %d, want %d (element ordinal, text siblings don't count)",
+				elems[i].Label, elems[i].Pos, want)
+		}
+	}
+	texts := 0
+	for _, c := range doc.Root.Children {
+		if c.Kind == Text {
+			texts++
+			if c.Pos != texts {
+				t.Errorf("text node %d Pos = %d, want %d", texts, c.Pos, texts)
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	doc, err := ParseString(`<a>hi<b><c>x</c></b><d/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := doc.Clone()
+	if !equalTree(doc.Root, cp.Root) {
+		t.Fatal("clone differs from original")
+	}
+	if cp.NumNodes() != doc.NumNodes() {
+		t.Fatalf("clone has %d nodes, want %d", cp.NumNodes(), doc.NumNodes())
+	}
+	for i := 0; i < doc.NumNodes(); i++ {
+		o, c := doc.NodeByID(i), cp.NodeByID(i)
+		if o == c {
+			t.Fatalf("node %d shared between clone and original", i)
+		}
+		if o.Pos != c.Pos || o.Depth != c.Depth || o.Kind != c.Kind {
+			t.Fatalf("node %d metadata differs: %+v vs %+v", i, o, c)
+		}
+		if c.Parent != nil && cp.NodeByID(c.Parent.ID) != c.Parent {
+			t.Fatalf("node %d parent points outside the clone", i)
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cp.AddElement(cp.Root, "new")
+	if len(doc.Root.Children) == len(cp.Root.Children) {
+		t.Error("mutation of clone leaked into original")
+	}
+}
+
 func equalTree(a, b *Node) bool {
 	if a.Kind != b.Kind || a.Label != b.Label || a.Data != b.Data || len(a.Children) != len(b.Children) {
 		return false

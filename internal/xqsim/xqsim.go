@@ -95,6 +95,8 @@ func pred(p xpath.Pred, n *xmltree.Node) bool {
 		}
 		return false
 	case *xpath.PosEq:
+		// Pos is the element ordinal among element siblings (XPath
+		// semantics; text siblings don't count in mixed content).
 		for _, m := range path(t.Path, []*xmltree.Node{n}) {
 			if m.Pos == t.K {
 				return true

@@ -1,0 +1,175 @@
+package smoqe
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smoqe/internal/hype"
+	"smoqe/internal/mfa"
+	"smoqe/internal/rewrite"
+)
+
+// PreparedQuery is a query that has been parsed, (optionally) rewritten
+// over a view, compiled to an MFA and bound to a pool of HyPE engines —
+// the expensive O(|Q|²|σ||D_V|²) work is done exactly once, evaluation
+// happens many times, concurrently.
+//
+// Unlike Engine, a PreparedQuery IS safe for concurrent use: every Eval
+// borrows an independent Engine.Clone from an internal sync.Pool (clones
+// share the immutable automaton metadata but keep private run state), so
+// any number of goroutines may evaluate simultaneously against the same or
+// different documents. This is the unit the serving layer
+// (internal/server) caches and shares across requests.
+//
+// Lifecycle:
+//
+//	p, _ := smoqe.PrepareOnView(v, q)   // once: parse → rewrite → compile
+//	...
+//	nodes := p.Eval(doc.Root)           // many times, from any goroutine
+//	st := p.Stats()                     // aggregated across all runs
+type PreparedQuery struct {
+	m    *MFA
+	pool *enginePool
+
+	// opt maps a document's index to a pool of OptHyPE clones. All clones
+	// for one index share that single index (it is read-only after build);
+	// the map is tiny — one entry per distinct document the query has been
+	// evaluated against with indexing on.
+	mu  sync.Mutex
+	opt map[*Index]*enginePool
+
+	evals   atomic.Int64
+	visited atomic.Int64
+	skipSub atomic.Int64
+	skipEle atomic.Int64
+	cansV   atomic.Int64
+	cansE   atomic.Int64
+	afaEv   atomic.Int64
+}
+
+// enginePool hands out independent clones of one prototype engine.
+type enginePool struct {
+	pool sync.Pool
+}
+
+func newEnginePool(proto *Engine) *enginePool {
+	ep := &enginePool{}
+	ep.pool.New = func() any { return proto.Clone() }
+	return ep
+}
+
+// Prepare compiles q into a reusable, concurrency-safe prepared query.
+func Prepare(q Query) (*PreparedQuery, error) {
+	m, err := mfa.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareMFA(m), nil
+}
+
+// PrepareString is Prepare for a query in concrete syntax.
+func PrepareString(qsrc string) (*PreparedQuery, error) {
+	q, err := ParseQuery(qsrc)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(q)
+}
+
+// PrepareOnView rewrites q (posed on the view) into a source automaton and
+// prepares it: each Eval then returns the source nodes backing Q(σ(T))
+// without materializing the view.
+func PrepareOnView(v *View, q Query) (*PreparedQuery, error) {
+	m, err := rewrite.Rewrite(v, q)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareMFA(m), nil
+}
+
+// PrepareMFA wraps an already-built automaton (compiled, rewritten, merged
+// or deserialized with ReadMFA) into a prepared query.
+func PrepareMFA(m *MFA) *PreparedQuery {
+	return &PreparedQuery{m: m, pool: newEnginePool(hype.New(m))}
+}
+
+// MFA returns the underlying automaton.
+func (p *PreparedQuery) MFA() *MFA { return p.m }
+
+// Eval evaluates the prepared query at ctx with HyPE. Safe to call from
+// any number of goroutines concurrently.
+func (p *PreparedQuery) Eval(ctx *Node) []*Node {
+	e := p.pool.pool.Get().(*Engine)
+	res := e.Eval(ctx)
+	p.account(e.Stats())
+	p.pool.pool.Put(e)
+	return res
+}
+
+// EvalIndexed evaluates with OptHyPE against the given subtree index,
+// which must have been built from the document ctx belongs to. Clones for
+// the same index share it; distinct indexes get distinct pools. Safe for
+// concurrent use.
+func (p *PreparedQuery) EvalIndexed(ctx *Node, idx *Index) []*Node {
+	p.mu.Lock()
+	ep, ok := p.opt[idx]
+	if !ok {
+		if p.opt == nil {
+			p.opt = make(map[*Index]*enginePool)
+		}
+		ep = newEnginePool(hype.NewOpt(p.m, idx))
+		p.opt[idx] = ep
+	}
+	p.mu.Unlock()
+	e := ep.pool.Get().(*Engine)
+	res := e.Eval(ctx)
+	p.account(e.Stats())
+	ep.pool.Put(e)
+	return res
+}
+
+// EvalTagged evaluates a batch automaton (see Merge) in one pass and
+// returns each merged machine's answers indexed by tag. Safe for
+// concurrent use.
+func (p *PreparedQuery) EvalTagged(ctx *Node) [][]*Node {
+	e := p.pool.pool.Get().(*Engine)
+	res := e.EvalTagged(ctx)
+	p.account(e.Stats())
+	p.pool.pool.Put(e)
+	return res
+}
+
+func (p *PreparedQuery) account(st EngineStats) {
+	p.evals.Add(1)
+	p.visited.Add(int64(st.VisitedElements))
+	p.skipSub.Add(int64(st.SkippedSubtrees))
+	p.skipEle.Add(int64(st.SkippedElements))
+	p.cansV.Add(int64(st.CansVertices))
+	p.cansE.Add(int64(st.CansEdges))
+	p.afaEv.Add(int64(st.AFAEvaluations))
+}
+
+// PreparedStats aggregates engine statistics over every evaluation of a
+// prepared query (across all goroutines and documents).
+type PreparedStats struct {
+	// Evaluations is the number of completed Eval/EvalIndexed/EvalTagged
+	// calls.
+	Evaluations int64
+	// Engine sums the per-run HyPE statistics over all evaluations.
+	Engine EngineStats
+}
+
+// Stats returns a snapshot of the aggregated statistics.
+func (p *PreparedQuery) Stats() PreparedStats {
+	return PreparedStats{
+		Evaluations: p.evals.Load(),
+		Engine: EngineStats{
+			VisitedElements: int(p.visited.Load()),
+			SkippedSubtrees: int(p.skipSub.Load()),
+			SkippedElements: int(p.skipEle.Load()),
+			CansVertices:    int(p.cansV.Load()),
+			CansEdges:       int(p.cansE.Load()),
+			AFAEvaluations:  int(p.afaEv.Load()),
+		},
+	}
+}

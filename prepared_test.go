@@ -1,0 +1,116 @@
+package smoqe_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smoqe"
+	"smoqe/internal/datagen"
+	"smoqe/internal/hospital"
+)
+
+// TestPreparedQueryMatchesReference: prepared evaluation (HyPE and
+// OptHyPE) must agree with the one-shot facade and the reference
+// evaluator.
+func TestPreparedQueryMatchesReference(t *testing.T) {
+	doc, err := smoqe.ParseDocumentString(hospital.SampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := smoqe.BuildIndex(doc, true)
+	for _, src := range []string{
+		hospital.XPA,
+		hospital.QExample11,
+		"//diagnosis",
+		"department/patient[not(visit)]",
+	} {
+		q, err := smoqe.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := smoqe.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := smoqe.IDsOf(smoqe.EvalReference(q, doc.Root))
+		if got := smoqe.IDsOf(p.Eval(doc.Root)); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: prepared %v, reference %v", src, got, want)
+		}
+		if got := smoqe.IDsOf(p.EvalIndexed(doc.Root, idx)); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: prepared indexed %v, reference %v", src, got, want)
+		}
+	}
+}
+
+// TestPreparedQueryConcurrent: one PreparedQuery, many goroutines, same
+// answers every time — run under -race this exercises the engine pool.
+func TestPreparedQueryConcurrent(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(120))
+	idx := smoqe.BuildIndex(doc, true)
+	p, err := smoqe.PrepareString("//patient[visit/treatment/medication/diagnosis/text()='heart disease']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(smoqe.IDsOf(p.Eval(doc.Root)))
+
+	const goroutines = 16
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var got []*smoqe.Node
+				if (g+i)%2 == 0 {
+					got = p.Eval(doc.Root)
+				} else {
+					got = p.EvalIndexed(doc.Root, idx)
+				}
+				if s := fmt.Sprint(smoqe.IDsOf(got)); s != want {
+					select {
+					case errs <- fmt.Sprintf("goroutine %d round %d: %s != %s", g, i, s, want):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	st := p.Stats()
+	if st.Evaluations != goroutines*rounds+1 {
+		t.Errorf("Stats.Evaluations = %d, want %d", st.Evaluations, goroutines*rounds+1)
+	}
+	if st.Engine.VisitedElements <= 0 {
+		t.Errorf("aggregated VisitedElements = %d, want > 0", st.Engine.VisitedElements)
+	}
+}
+
+// TestPreparedOnView: the prepared path through rewrite answers view
+// queries identically to AnswerOnView.
+func TestPreparedOnView(t *testing.T) {
+	v := hospital.Sigma0()
+	doc := datagen.Generate(datagen.DefaultConfig(80))
+	q, err := smoqe.ParseQuery(hospital.QExample11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := smoqe.PrepareOnView(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := smoqe.AnswerOnView(v, q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(doc.Root); fmt.Sprint(smoqe.IDsOf(got)) != fmt.Sprint(smoqe.IDsOf(want)) {
+		t.Errorf("prepared view answers differ: %v vs %v", smoqe.IDsOf(got), smoqe.IDsOf(want))
+	}
+}

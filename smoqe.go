@@ -98,6 +98,10 @@ type EngineStats = hype.Stats
 // Index is the subtree-label index behind OptHyPE and OptHyPE-C.
 type Index = hype.Index
 
+// IDsOf returns the document-order IDs of the given nodes — the stable
+// node references the serving layer returns to clients.
+func IDsOf(ns []*Node) []int { return xmltree.IDsOf(ns) }
+
 // Parsing ----------------------------------------------------------------
 
 // ParseDocument reads an XML document from r.
