@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smoqe"
+	"smoqe/internal/hospital"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sigma0View(t *testing.T) *smoqe.View {
+	t.Helper()
+	docDTD, viewDTD, spec, _ := writeFixtures(t)
+	v, err := loadView(spec, docDTD, viewDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestExplainGolden pins the full explain output — accounting header, MFA
+// listing, DOT and traced run — for the paper's Example 1.1 query over
+// σ0. Regenerate with `go test ./cmd/smoqe -run TestExplainGolden -update`
+// after intentional rewriter or trace format changes.
+func TestExplainGolden(t *testing.T) {
+	v := sigma0View(t)
+	doc := hospital.SampleDocument()
+	var out strings.Builder
+	if err := runExplain(&out, hospital.QExample11, v, doc, "opthype-c", true, "-", 8); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "explain.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("explain output changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestExplainAccounting checks the Theorem 5.1 relationship the output
+// reports: the rewritten automaton stays within the |Q|·|σ|·|D_V| budget.
+func TestExplainAccounting(t *testing.T) {
+	v := sigma0View(t)
+	q, err := smoqe.ParseQuery(hospital.QExample11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := smoqe.Rewrite(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := smoqe.ExplainPlan(q, v, m)
+	if pe.QuerySize <= 0 || pe.ViewSize <= 0 || pe.ViewDTDTypes <= 0 {
+		t.Fatalf("accounting factors not filled: %+v", pe)
+	}
+	if pe.Bound != pe.QuerySize*pe.ViewSize*pe.ViewDTDTypes {
+		t.Errorf("bound %d != %d·%d·%d", pe.Bound, pe.QuerySize, pe.ViewSize, pe.ViewDTDTypes)
+	}
+	if pe.MFASize > pe.Bound {
+		t.Errorf("|M| = %d exceeds the Theorem 5.1 budget %d", pe.MFASize, pe.Bound)
+	}
+	if pe.MFASize != pe.NFAStates+pe.NFAEdges+pe.AFAStates+pe.AFAEdges {
+		t.Errorf("|M| = %d is not the component sum %+v", pe.MFASize, pe)
+	}
+}
+
+// TestExplainDOTValid checks the emitted Graphviz is structurally sound:
+// one digraph, balanced braces, and edges for every reported NFA edge.
+func TestExplainDOTValid(t *testing.T) {
+	v := sigma0View(t)
+	var out strings.Builder
+	if err := runExplain(&out, hospital.QExample11, v, nil, "hype", false, "-", 0); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	i := strings.Index(text, "digraph ")
+	if i < 0 {
+		t.Fatal("no digraph in -dot - output")
+	}
+	dot := text[i:]
+	if open, close := strings.Count(dot, "{"), strings.Count(dot, "}"); open != close || open < 2 {
+		t.Errorf("unbalanced braces: %d open, %d close", open, close)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("dot output truncated")
+	}
+	if !strings.Contains(dot, "subgraph cluster_nfa") {
+		t.Error("missing selecting-NFA cluster")
+	}
+	if !strings.Contains(dot, "->") {
+		t.Error("no edges in dot output")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if err := cmdExplain([]string{}); err == nil {
+		t.Error("missing -query must fail")
+	}
+	if err := cmdExplain([]string{"-query", "a["}); err == nil {
+		t.Error("bad query must fail")
+	}
+	if err := cmdExplain([]string{"-query", "a", "-view", "x.view"}); err == nil {
+		t.Error("-view without DTDs must fail")
+	}
+	var out strings.Builder
+	if err := runExplain(&out, "a", nil, hospital.SampleDocument(), "warp", false, "", 0); err == nil {
+		t.Error("unknown engine must fail")
+	}
+}
+
+// TestCmdExplainEndToEnd drives the real subcommand with files on disk.
+func TestCmdExplainEndToEnd(t *testing.T) {
+	docDTD, viewDTD, spec, doc := writeFixtures(t)
+	dotFile := filepath.Join(t.TempDir(), "m.dot")
+	err := cmdExplain([]string{"-query", hospital.QExample11, "-view", spec,
+		"-docdtd", docDTD, "-viewdtd", viewDTD, "-doc", doc,
+		"-engine", "opthype", "-dot", dotFile, "-trace", "5"})
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	raw, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "digraph ") {
+		t.Errorf("dot file does not start with digraph: %q", raw[:20])
+	}
+}

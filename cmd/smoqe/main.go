@@ -8,6 +8,7 @@
 //
 //	smoqe eval -query Q -doc FILE [-engine hype|opthype|opthype-c|ref|twopass] [-stats]
 //	smoqe rewrite -query Q -view SPEC -docdtd FILE -viewdtd FILE [-print]
+//	smoqe explain -query Q [-view SPEC -docdtd FILE -viewdtd FILE] [-doc FILE] [-print] [-dot FILE] [-trace N]
 //	smoqe answer -query Q -view SPEC -docdtd FILE -viewdtd FILE -doc FILE
 //	smoqe materialize -view SPEC -docdtd FILE -viewdtd FILE -doc FILE [-o OUT]
 //	smoqe validate -dtd FILE -doc FILE
@@ -33,6 +34,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "rewrite":
 		err = cmdRewrite(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "answer":
 		err = cmdAnswer(os.Args[2:])
 	case "materialize":
@@ -63,6 +66,7 @@ func usage() {
 commands:
   eval         evaluate a regular XPath query on a document
   rewrite      rewrite a view query into a source MFA and report its size
+  explain      print a plan's Theorem 5.1 size accounting, automaton and traced run
   answer       answer a view query on the source (rewrite + HyPE)
   materialize  materialize a view document
   batch        answer many queries in ONE document pass (optionally via a view)
@@ -190,10 +194,9 @@ func cmdEval(args []string) error {
 	if *stats && eng != nil {
 		st := eng.Stats()
 		total := doc.ComputeStats().Elements
-		fmt.Printf("visited %d of %d elements (%.1f%% pruned), cans: %d vertices / %d edges, AFA evals: %d\n",
-			st.VisitedElements, total,
-			100*float64(total-st.VisitedElements)/float64(total),
-			st.CansVertices, st.CansEdges, st.AFAEvaluations)
+		fmt.Printf("visited %d of %d elements (%.1f%% pruned), skipped %d subtrees, cans: %d vertices / %d edges, AFA evals: %d\n",
+			st.VisitedElements, total, 100*st.PruneRate(total),
+			st.SkippedSubtrees, st.CansVertices, st.CansEdges, st.AFAEvaluations)
 	}
 	return nil
 }
@@ -387,6 +390,7 @@ func cmdBatch(args []string) error {
 	spec := fs.String("view", "", "optional view specification (queries are then over the view)")
 	docdtd := fs.String("docdtd", "", "source DTD file (with -view)")
 	viewdtd := fs.String("viewdtd", "", "view DTD file (with -view)")
+	stats := fs.Bool("stats", false, "print per-query visited/skipped/prune-rate (runs each query individually after the batch pass)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -444,17 +448,32 @@ func cmdBatch(args []string) error {
 	eng := smoqe.NewEngine(merged)
 	results := eng.EvalTagged(doc.Root)
 	st := eng.Stats()
-	for i, src := range srcs {
-		n := 0
-		if i < len(results) {
-			n = len(results[i])
-		}
-		fmt.Printf("%6d  %s\n", n, src)
-	}
 	total := doc.ComputeStats().Elements
+	if *stats {
+		// §7-style experiment table: each query also runs on its own
+		// engine, so the visited/skipped/prune-rate columns are that
+		// query's, not the shared batch pass's.
+		fmt.Printf("%6s  %8s  %8s  %7s  %s\n", "count", "visited", "skipped", "prune%", "query")
+		for i, src := range srcs {
+			n := 0
+			if i < len(results) {
+				n = len(results[i])
+			}
+			_, qst := smoqe.NewEngine(ms[i]).EvalWithStats(doc.Root)
+			fmt.Printf("%6d  %8d  %8d  %6.1f%%  %s\n",
+				n, qst.VisitedElements, qst.SkippedSubtrees, 100*qst.PruneRate(total), src)
+		}
+	} else {
+		for i, src := range srcs {
+			n := 0
+			if i < len(results) {
+				n = len(results[i])
+			}
+			fmt.Printf("%6d  %s\n", n, src)
+		}
+	}
 	fmt.Printf("one pass over %d elements answered %d queries (visited %d, %.1f%% pruned)\n",
-		total, len(srcs), st.VisitedElements,
-		100*float64(total-st.VisitedElements)/float64(total))
+		total, len(srcs), st.VisitedElements, 100*st.PruneRate(total))
 	return nil
 }
 

@@ -9,13 +9,13 @@
 //	smoqed [-addr :8640] [-cache 256] [-timeout 30s]
 //	       [-doc name=file.xml ...]
 //	       [-view name=spec.view,source.dtd,target.dtd ...]
-//	       [-sample]
+//	       [-sample] [-pprof] [-slow-threshold 250ms] [-slowlog 128]
 //
-// The API (see docs/SERVER.md):
+// The API (see docs/SERVER.md and docs/OBSERVABILITY.md):
 //
-//	POST /query  {"doc":"d","view":"v","query":"...","engine":"hype"}
+//	POST /query  {"doc":"d","view":"v","query":"...","engine":"hype","explain":true}
 //	GET|POST /docs, /views
-//	GET  /stats, /healthz
+//	GET  /stats, /metrics, /slow, /healthz
 package main
 
 import (
@@ -39,6 +39,10 @@ func main() {
 	maxPaths := flag.Int("maxpaths", 1000, "maximum node paths returned per response")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
 	sample := flag.Bool("sample", false, "preload the paper's hospital sample document and σ0 view")
+	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "latency at which a query enters the slow-query log (negative disables)")
+	slowLogSize := flag.Int("slowlog", 128, "slow-query log capacity (entries)")
+	traceLimit := flag.Int("trace-limit", 0, "per-node trace cap for explain requests (0 = engine default)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 	var docFlags, viewFlags multiFlag
 	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
@@ -46,9 +50,13 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		MaxPaths:       *maxPaths,
+		CacheSize:          *cacheSize,
+		RequestTimeout:     *timeout,
+		MaxPaths:           *maxPaths,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogSize:        *slowLogSize,
+		TraceLimit:         *traceLimit,
+		EnablePprof:        *enablePprof,
 	})
 
 	if *sample {

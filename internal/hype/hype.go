@@ -1,6 +1,7 @@
 package hype
 
 import (
+	"fmt"
 	"math/bits"
 
 	"smoqe/internal/mfa"
@@ -224,6 +225,15 @@ func (s nfaSet) intersects(o nfaSet) bool {
 	return false
 }
 
+// count returns the number of set bits.
+func (s nfaSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // forEach calls fn for every set bit in ascending order.
 func (s nfaSet) forEach(fn func(i int)) {
 	for wi, w := range s {
@@ -238,7 +248,40 @@ func (s nfaSet) forEach(fn func(i int)) {
 // Eval computes ctx[[M]] with a single depth-first pass over the subtree of
 // ctx followed by one traversal of the cans DAG (Algorithm HyPE, Fig. 6).
 func (e *Engine) Eval(ctx *xmltree.Node) []*xmltree.Node {
-	hits := e.run(ctx)
+	nodes, _ := e.EvalWithStats(ctx)
+	return nodes
+}
+
+// EvalWithStats is Eval returning this run's statistics as a value — the
+// form concurrent callers (engine-clone pools) need: the returned Stats
+// belong to exactly this run, with no shared mutable state involved.
+func (e *Engine) EvalWithStats(ctx *xmltree.Node) ([]*xmltree.Node, Stats) {
+	hits, st := e.run(ctx, nil)
+	return candNodes(hits), st
+}
+
+// EvalTagged evaluates a batch automaton (see mfa.Merge) in ONE pass and
+// returns the answer set of every merged machine, indexed by tag. The
+// slice has m.NumTags() entries.
+func (e *Engine) EvalTagged(ctx *xmltree.Node) [][]*xmltree.Node {
+	out, _ := e.EvalTaggedWithStats(ctx)
+	return out
+}
+
+// EvalTaggedWithStats is EvalTagged returning this run's statistics.
+func (e *Engine) EvalTaggedWithStats(ctx *xmltree.Node) ([][]*xmltree.Node, Stats) {
+	hits, st := e.run(ctx, nil)
+	out := make([][]*xmltree.Node, e.m.NumTags())
+	for _, c := range hits {
+		out[c.tag] = append(out[c.tag], c.node)
+	}
+	for i := range out {
+		out[i] = xmltree.SortNodes(out[i])
+	}
+	return out, st
+}
+
+func candNodes(hits []cand) []*xmltree.Node {
 	answers := make([]*xmltree.Node, 0, len(hits))
 	for _, c := range hits {
 		answers = append(answers, c.node)
@@ -246,25 +289,13 @@ func (e *Engine) Eval(ctx *xmltree.Node) []*xmltree.Node {
 	return xmltree.SortNodes(answers)
 }
 
-// EvalTagged evaluates a batch automaton (see mfa.Merge) in ONE pass and
-// returns the answer set of every merged machine, indexed by tag. The
-// slice has m.NumTags() entries.
-func (e *Engine) EvalTagged(ctx *xmltree.Node) [][]*xmltree.Node {
-	out := make([][]*xmltree.Node, e.m.NumTags())
-	for _, c := range e.run(ctx) {
-		out[c.tag] = append(out[c.tag], c.node)
-	}
-	for i := range out {
-		out[i] = xmltree.SortNodes(out[i])
-	}
-	return out
-}
-
 // run performs the single DFS pass plus the cans traversal and returns the
-// surviving candidate answers.
-func (e *Engine) run(ctx *xmltree.Node) []cand {
-	e.stats = Stats{}
-	r := &run{Engine: e}
+// surviving candidate answers with the run's statistics. Statistics
+// accumulate in the run value, not the engine, so the result is exact for
+// this run regardless of what other clones do; e.stats keeps the last
+// run's copy for the legacy Stats() accessor.
+func (e *Engine) run(ctx *xmltree.Node, tr *Trace) ([]cand, Stats) {
+	r := &run{Engine: e, trace: tr}
 	ms := r.getNFASet()
 	ms.set(e.m.Start)
 	r.closeNFA(ms)
@@ -316,14 +347,21 @@ func (e *Engine) run(ctx *xmltree.Node) []cand {
 			}
 		}
 	}
-	e.stats.CansVertices = r.numVerts
-	e.stats.CansEdges = len(r.edgeList)
-	return hits
+	r.stats.CansVertices = r.numVerts
+	r.stats.CansEdges = len(r.edgeList)
+	e.stats = r.stats
+	return hits, r.stats
 }
 
 // run holds the per-evaluation state.
 type run struct {
 	*Engine
+
+	// stats is this run's private statistics; it shadows Engine.stats so
+	// concurrent clones never write shared memory mid-run.
+	stats Stats
+	// trace, when non-nil, records per-node decisions (capped).
+	trace *Trace
 
 	// cans DAG, stored pointer-free so the GC never scans it: vertices
 	// are just indices (numVerts), edges live in a flat list (CSR built
@@ -544,11 +582,16 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 	// with same-node consequences.
 	rel := fseeds
 	anyAFA := false
+	nAFA := 0
 	for g := range rel {
 		if rel[g] != nil {
 			r.closeAFA(g, rel[g])
 			anyAFA = true
+			nAFA++
 		}
+	}
+	if r.trace != nil {
+		r.trace.add(n, TraceVisit, fmt.Sprintf("nfa-states=%d active-afas=%d", ms.count(), nAFA))
 	}
 
 	// Allocate cans vertices for ms.
@@ -609,6 +652,9 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 				continue
 			}
 			r.stats.AFAEvaluations++
+			if r.trace != nil {
+				r.trace.add(n, TraceAFAEval, fmt.Sprintf("X%d states=%d", g, rel[g].count()))
+			}
 			res.afaVals[g] = r.m.AFAs[g].EvalAtMasked(n, transAcc[g], r.getBools(g), rel[g])
 			r.putBools(g, transAcc[g])
 		}
@@ -624,6 +670,9 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 		vals := res.afaVals[g]
 		if vals == nil || !vals[r.m.GuardEntry(int(s))] {
 			r.dead[res.base+int32(i)] = true
+			if r.trace != nil {
+				r.trace.add(n, TraceGuardFail, fmt.Sprintf("state s%d guard X%d false", s, g))
+			}
 		}
 	}
 	return res
@@ -698,7 +747,7 @@ func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [
 		r.putVecN(cseeds)
 	}
 	if !anyNFA && !anySeed {
-		r.prune(c)
+		r.prune(c, "no-transition")
 		release()
 		return
 	}
@@ -706,7 +755,7 @@ func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [
 	// Index-based pruning (OptHyPE): skip the subtree when no active
 	// state can make progress against the child's subtree alphabet.
 	if r.idx != nil && !r.useful(c, cms, cseeds) {
-		r.prune(c)
+		r.prune(c, "index-alphabet")
 		release()
 		return
 	}
@@ -760,10 +809,19 @@ func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [
 	release()
 }
 
-func (r *run) prune(c *xmltree.Node) {
+func (r *run) prune(c *xmltree.Node, reason string) {
 	r.stats.SkippedSubtrees++
+	skipped := 0
 	if r.idx != nil {
-		r.stats.SkippedElements += r.idx.SubtreeSize(c)
+		skipped = r.idx.SubtreeSize(c)
+		r.stats.SkippedElements += skipped
+	}
+	if r.trace != nil {
+		detail := reason
+		if skipped > 0 {
+			detail = fmt.Sprintf("%s skipped-elements=%d", reason, skipped)
+		}
+		r.trace.add(c, TracePrune, detail)
 	}
 }
 

@@ -1,0 +1,81 @@
+package hype
+
+import "smoqe/internal/xmltree"
+
+// TraceKind classifies one recorded decision of a traced HyPE run.
+type TraceKind string
+
+const (
+	// TraceVisit: the DFS entered an element node; the detail reports how
+	// many NFA states and AFAs were active there.
+	TraceVisit TraceKind = "visit"
+	// TracePrune: a child subtree was skipped, either because no active
+	// state had a matching transition ("no-transition") or because the
+	// index proved no progress possible against the subtree's alphabet
+	// ("index-alphabet", OptHyPE only).
+	TracePrune TraceKind = "prune"
+	// TraceAFAEval: a filter AFA was evaluated bottom-up at the node.
+	TraceAFAEval TraceKind = "afa-eval"
+	// TraceGuardFail: a cans vertex was killed because its guard AFA came
+	// out false (lines 14–15 of PCans).
+	TraceGuardFail TraceKind = "guard-fail"
+)
+
+// TraceEvent is one recorded decision: what happened at which node.
+type TraceEvent struct {
+	Kind TraceKind `json:"kind"`
+	// Node is the document-order ID of the node the decision concerns.
+	Node int `json:"node"`
+	// Label is the node's element tag.
+	Label string `json:"label"`
+	// Depth is the node's depth below the document root.
+	Depth int `json:"depth"`
+	// Path is the node's slash path (computed only in trace mode).
+	Path string `json:"path"`
+	// Detail carries kind-specific information (active state counts, the
+	// prune reason, the AFA evaluated, the guard that failed).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultTraceLimit caps a trace when the caller passes no limit: deep
+// documents generate one event per visited node, so an unbounded trace of
+// a large run would dwarf the answer itself.
+const DefaultTraceLimit = 1000
+
+// Trace is the capped event log of one traced evaluation.
+type Trace struct {
+	// Limit is the maximum number of events recorded.
+	Limit int `json:"limit"`
+	// Events holds up to Limit events in decision order.
+	Events []TraceEvent `json:"events"`
+	// Dropped counts events beyond Limit that were discarded.
+	Dropped int `json:"dropped"`
+}
+
+func (t *Trace) add(n *xmltree.Node, kind TraceKind, detail string) {
+	if len(t.Events) >= t.Limit {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{
+		Kind:   kind,
+		Node:   n.ID,
+		Label:  n.Label,
+		Depth:  n.Depth,
+		Path:   n.Path(),
+		Detail: detail,
+	})
+}
+
+// EvalTraced is EvalWithStats plus a capped per-node decision trace:
+// every visit, prune, AFA evaluation and guard failure up to limit events
+// (DefaultTraceLimit if limit <= 0). Tracing changes only the run's cost
+// (path rendering per event), never its answers.
+func (e *Engine) EvalTraced(ctx *xmltree.Node, limit int) ([]*xmltree.Node, Stats, *Trace) {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	tr := &Trace{Limit: limit}
+	hits, st := e.run(ctx, tr)
+	return candNodes(hits), st, tr
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -14,13 +15,16 @@ import (
 
 // Handler returns the HTTP API of the server:
 //
-//	POST /query  {"doc","view","query","engine","paths"} → QueryResponse
+//	POST /query  {"doc","view","query","engine","paths","explain"} → QueryResponse
 //	GET  /docs                                           → registered documents
 //	POST /docs   {"name","xml"}                          → register a document
 //	GET  /views                                          → registered views
 //	POST /views  {"name","spec","source_dtd","target_dtd"} → register a view
 //	GET  /stats                                          → Stats
-//	GET  /healthz                                        → 200 ok
+//	GET  /metrics                                        → Prometheus text format
+//	GET  /slow                                           → slow-query log
+//	GET  /healthz                                        → HealthInfo (build/version/uptime)
+//	GET  /debug/pprof/...                                → profiles (Config.EnablePprof only)
 //
 // Bodies are JSON; errors come back as {"error": "..."} with a 4xx/5xx
 // status.
@@ -32,11 +36,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /views", s.handleListViews)
 	mux.HandleFunc("POST /views", s.handleRegisterView)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
+	mux.HandleFunc("GET /slow", s.handleSlow)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
+		writeJSON(w, http.StatusOK, s.Health())
 	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// slowResponse is the GET /slow payload.
+type slowResponse struct {
+	// ThresholdMicros is the configured slowness bound; negative means
+	// the log is disabled.
+	ThresholdMicros int64 `json:"threshold_us"`
+	// Total counts every slow query seen, including entries the ring has
+	// already overwritten.
+	Total int64 `json:"total"`
+	// Entries holds the retained slow queries, newest first.
+	Entries []SlowQuery `json:"entries"`
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdMicros: s.slow.Threshold().Microseconds(),
+		Total:           s.slow.Total(),
+		Entries:         s.slow.Snapshot(),
+	})
 }
 
 // Serve runs the HTTP API on addr until ctx is canceled, then shuts down

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"time"
+
+	"smoqe/internal/telemetry"
+)
+
+// metrics bundles the server's telemetry handles. Cumulative engine work
+// (visited/skipped/AFA-eval counters) is added from each run's private
+// Stats value, so per-request deltas and the aggregates agree exactly
+// under any concurrency.
+type metrics struct {
+	reg *telemetry.Registry
+
+	requests    *telemetry.Counter
+	failures    *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	visited     *telemetry.Counter
+	skippedSub  *telemetry.Counter
+	skippedEle  *telemetry.Counter
+	afaEvals    *telemetry.Counter
+	slowQueries *telemetry.Counter
+}
+
+func newMetrics(s *Server) *metrics {
+	reg := telemetry.New()
+	m := &metrics{
+		reg: reg,
+		requests: reg.Counter("smoqe_requests_total",
+			"Query requests received.", nil),
+		failures: reg.Counter("smoqe_failures_total",
+			"Query requests that returned an error.", nil),
+		cacheHits: reg.Counter("smoqe_plan_cache_hits_total",
+			"Query requests answered by a cached plan.", nil),
+		cacheMisses: reg.Counter("smoqe_plan_cache_misses_total",
+			"Query requests that built (or waited for) a plan.", nil),
+		visited: reg.Counter("smoqe_visited_elements_total",
+			"Element nodes entered by HyPE evaluation runs.", nil),
+		skippedSub: reg.Counter("smoqe_skipped_subtrees_total",
+			"Subtrees pruned by HyPE evaluation runs.", nil),
+		skippedEle: reg.Counter("smoqe_skipped_elements_total",
+			"Element nodes inside pruned subtrees (index runs only).", nil),
+		afaEvals: reg.Counter("smoqe_afa_evaluations_total",
+			"Per-node AFA evaluations performed.", nil),
+		slowQueries: reg.Counter("smoqe_slow_queries_total",
+			"Queries at or above the slow-query threshold.", nil),
+	}
+	reg.GaugeFunc("smoqe_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("smoqe_documents", "Registered documents.", nil,
+		func() float64 { return float64(len(s.reg.Documents())) })
+	reg.GaugeFunc("smoqe_views", "Registered views.", nil,
+		func() float64 { return float64(len(s.reg.Views())) })
+	reg.GaugeFunc("smoqe_plan_cache_size", "Plans currently cached.", nil,
+		func() float64 { return float64(s.cache.Stats().Size) })
+	reg.GaugeFunc("smoqe_plan_cache_capacity", "Plan cache capacity.", nil,
+		func() float64 { return float64(s.cache.Stats().Capacity) })
+	reg.GaugeFunc("smoqe_plan_cache_evictions", "Plans evicted from the cache.", nil,
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	return m
+}
+
+// observeQuery records one successful evaluation in the per-(view,engine)
+// latency histogram. The empty view label means the query ran directly on
+// the source document.
+func (m *metrics) observeQuery(view string, engine EngineKind, elapsed time.Duration) {
+	m.reg.Histogram("smoqe_query_duration_seconds",
+		"Query evaluation wall time by view and engine.",
+		nil, telemetry.Labels{"view": view, "engine": string(engine)},
+	).Observe(elapsed.Seconds())
+}

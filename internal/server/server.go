@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"smoqe"
+	"smoqe/internal/hype"
+	"smoqe/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -19,6 +22,17 @@ type Config struct {
 	// MaxPaths caps how many node paths a response carries when the
 	// request asks for paths (default 1000).
 	MaxPaths int
+	// SlowQueryThreshold is the latency at which a query lands in the
+	// slow-query log (default 250ms; negative disables the log).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring-buffer capacity (default 128).
+	SlowLogSize int
+	// TraceLimit caps the per-node trace returned for "explain" requests
+	// (default hype.DefaultTraceLimit).
+	TraceLimit int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler. Off by default: profiles expose internals and cost CPU.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -30,6 +44,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPaths == 0 {
 		c.MaxPaths = 1000
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 128
+	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = hype.DefaultTraceLimit
 	}
 	return c
 }
@@ -43,23 +66,22 @@ type Server struct {
 	reg   *Registry
 	cache *PlanCache
 	start time.Time
-
-	requests atomic.Int64
-	failures atomic.Int64
-	visited  atomic.Int64
-	skipped  atomic.Int64
-	afaEvals atomic.Int64
+	met   *metrics
+	slow  *SlowLog
 }
 
 // New returns a server with an empty registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		reg:   NewRegistry(),
 		cache: NewPlanCache(cfg.CacheSize),
 		start: time.Now(),
+		slow:  NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
 	}
+	s.met = newMetrics(s)
+	return s
 }
 
 // Registry exposes the server's document/view registry.
@@ -67,6 +89,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Cache exposes the server's plan cache.
 func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Telemetry exposes the server's metrics registry (served at /metrics).
+func (s *Server) Telemetry() *telemetry.Registry { return s.met.reg }
+
+// SlowLog exposes the slow-query log (served at /slow).
+func (s *Server) SlowLog() *SlowLog { return s.slow }
 
 // RegisterView registers (or replaces) a view and invalidates every cached
 // plan that was rewritten over its previous definition.
@@ -101,6 +129,22 @@ type QueryRequest struct {
 	Engine EngineKind `json:"engine,omitempty"`
 	// Paths asks for the result nodes' paths, not just counts and IDs.
 	Paths bool `json:"paths,omitempty"`
+	// Explain asks for the plan's Theorem 5.1 size accounting, phase
+	// timings and a capped per-node evaluation trace in the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// QueryExplain is the EXPLAIN payload of a response: what the plan looks
+// like and what the engine did, node by node (capped).
+type QueryExplain struct {
+	// Plan is the Theorem 5.1 size accounting of the (rewritten) MFA.
+	Plan smoqe.PlanExplain `json:"plan"`
+	// Timings reports the plan's preparation phase durations in
+	// nanoseconds, recorded when the plan was built; a cache hit returns
+	// the building request's numbers.
+	Timings smoqe.PlanTimings `json:"timings"`
+	// Trace is the capped per-node decision log of this evaluation.
+	Trace *smoqe.Trace `json:"trace"`
 }
 
 // QueryResponse is the answer to one QueryRequest.
@@ -111,19 +155,25 @@ type QueryResponse struct {
 	CacheHit bool     `json:"cache_hit"`
 	// Elapsed is the evaluation wall time in microseconds.
 	ElapsedMicros int64 `json:"elapsed_us"`
-	// Visited/Skipped/AFAEvals are this run's HyPE statistics.
-	Visited  int `json:"visited_elements"`
-	Skipped  int `json:"skipped_subtrees"`
-	AFAEvals int `json:"afa_evaluations"`
+	// Visited/Skipped/SkippedElements/AFAEvals are exactly this run's
+	// HyPE statistics: every evaluation runs on a private engine clone
+	// that reports its Stats by value, so the numbers are exact no
+	// matter how many requests share the plan.
+	Visited         int `json:"visited_elements"`
+	Skipped         int `json:"skipped_subtrees"`
+	SkippedElements int `json:"skipped_elements,omitempty"`
+	AFAEvals        int `json:"afa_evaluations"`
+	// Explain is present when the request set "explain": true.
+	Explain *QueryExplain `json:"explain,omitempty"`
 }
 
 // Query answers one request, honoring ctx (and the configured request
 // timeout) for cancellation.
 func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
-	s.requests.Add(1)
+	s.met.requests.Inc()
 	resp, err := s.query(ctx, req)
 	if err != nil {
-		s.failures.Add(1)
+		s.met.failures.Inc()
 	}
 	return resp, err
 }
@@ -153,17 +203,26 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 
 	key := PlanKey{View: req.View, Query: req.Query, Engine: engine}
 	plan, hit, err := s.cache.GetOrBuild(key, func() (*smoqe.PreparedQuery, error) {
-		q, err := smoqe.ParseQuery(req.Query)
+		if view != nil {
+			p, err := smoqe.PrepareStringOnView(view.View, req.Query)
+			if err != nil {
+				return nil, fmt.Errorf("server: query: %w", err)
+			}
+			return p, nil
+		}
+		p, err := smoqe.PrepareString(req.Query)
 		if err != nil {
 			return nil, fmt.Errorf("server: query: %w", err)
 		}
-		if view != nil {
-			return smoqe.PrepareOnView(view.View, q)
-		}
-		return smoqe.Prepare(q)
+		return p, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if hit {
+		s.met.cacheHits.Inc()
+	} else {
+		s.met.cacheMisses.Inc()
 	}
 
 	if s.cfg.RequestTimeout > 0 {
@@ -172,66 +231,109 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		defer cancel()
 	}
 
-	before := plan.Stats()
 	start := time.Now()
-	nodes, err := s.evaluate(ctx, plan, doc, engine)
+	res, err := s.evaluate(ctx, plan, doc, engine, req.Explain)
 	if err != nil {
 		return nil, err
 	}
-	after := plan.Stats()
+	elapsed := time.Since(start)
 
 	resp := &QueryResponse{
-		Count:         len(nodes),
-		IDs:           smoqe.IDsOf(nodes),
+		Count:         len(res.nodes),
+		IDs:           smoqe.IDsOf(res.nodes),
 		CacheHit:      hit,
-		ElapsedMicros: time.Since(start).Microseconds(),
-		// Under concurrency the delta may include other requests on the
-		// same plan; the aggregate /stats numbers are exact.
-		Visited:  after.Engine.VisitedElements - before.Engine.VisitedElements,
-		Skipped:  after.Engine.SkippedSubtrees - before.Engine.SkippedSubtrees,
-		AFAEvals: after.Engine.AFAEvaluations - before.Engine.AFAEvaluations,
+		ElapsedMicros: elapsed.Microseconds(),
+		// res.stats came by value from this run's private engine clone,
+		// so these are exact even with concurrent requests on the plan.
+		Visited:         res.stats.VisitedElements,
+		Skipped:         res.stats.SkippedSubtrees,
+		SkippedElements: res.stats.SkippedElements,
+		AFAEvals:        res.stats.AFAEvaluations,
 	}
-	s.visited.Add(int64(resp.Visited))
-	s.skipped.Add(int64(resp.Skipped))
-	s.afaEvals.Add(int64(resp.AFAEvals))
+	s.met.visited.Add(int64(resp.Visited))
+	s.met.skippedSub.Add(int64(resp.Skipped))
+	s.met.skippedEle.Add(int64(resp.SkippedElements))
+	s.met.afaEvals.Add(int64(resp.AFAEvals))
+	s.met.observeQuery(req.View, engine, elapsed)
+	if s.slow.Record(slowEntry(req, engine, resp, time.Now())) {
+		s.met.slowQueries.Inc()
+	}
+	if req.Explain {
+		resp.Explain = s.explain(req, view, plan, res.trace)
+	}
 	if req.Paths {
-		n := len(nodes)
+		n := len(res.nodes)
 		if n > s.cfg.MaxPaths {
 			n = s.cfg.MaxPaths
 		}
 		resp.Paths = make([]string, n)
 		for i := 0; i < n; i++ {
-			resp.Paths[i] = nodes[i].Path()
+			resp.Paths[i] = res.nodes[i].Path()
 		}
 	}
 	return resp, nil
 }
 
-// evaluate runs the plan against the document, abandoning the wait (not
-// the work — HyPE has no preemption points) if ctx expires first. The
-// goroutine finishes on its own and returns its pooled engine.
-func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind) ([]*smoqe.Node, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+// explain assembles the EXPLAIN payload: the Theorem 5.1 accounting needs
+// the query AST, which the cached plan no longer holds, so the query text
+// is re-parsed (cheap next to any evaluation; this is a debug path).
+func (s *Server) explain(req QueryRequest, view *ViewEntry, plan *smoqe.PreparedQuery, tr *smoqe.Trace) *QueryExplain {
+	var q smoqe.Query
+	if parsed, err := smoqe.ParseQuery(req.Query); err == nil {
+		q = parsed
 	}
-	if ctx.Done() == nil {
-		return s.run(plan, doc, engine), nil
+	var v *smoqe.View
+	if view != nil {
+		v = view.View
 	}
-	ch := make(chan []*smoqe.Node, 1)
-	go func() { ch <- s.run(plan, doc, engine) }()
-	select {
-	case nodes := <-ch:
-		return nodes, nil
-	case <-ctx.Done():
-		return nil, fmt.Errorf("server: query on %q: %w", doc.Name, ctx.Err())
+	return &QueryExplain{
+		Plan:    smoqe.ExplainPlan(q, v, plan.MFA()),
+		Timings: plan.Timings(),
+		Trace:   tr,
 	}
 }
 
-func (s *Server) run(plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind) []*smoqe.Node {
-	if engine == EngineOptHyPE {
-		return plan.EvalIndexed(doc.Doc.Root, doc.Index())
+// evalResult is one evaluation's outcome: the answers plus exactly this
+// run's statistics (and trace, when requested).
+type evalResult struct {
+	nodes []*smoqe.Node
+	stats smoqe.EngineStats
+	trace *smoqe.Trace
+}
+
+// evaluate runs the plan against the document, abandoning the wait (not
+// the work — HyPE has no preemption points) if ctx expires first. The
+// goroutine finishes on its own and returns its pooled engine.
+func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool) (evalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, err)
 	}
-	return plan.Eval(doc.Doc.Root)
+	if ctx.Done() == nil {
+		return s.run(plan, doc, engine, traced), nil
+	}
+	ch := make(chan evalResult, 1)
+	go func() { ch <- s.run(plan, doc, engine, traced) }()
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, ctx.Err())
+	}
+}
+
+func (s *Server) run(plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool) evalResult {
+	var res evalResult
+	switch {
+	case engine == EngineOptHyPE && traced:
+		res.nodes, res.stats, res.trace = plan.EvalIndexedTraced(doc.Doc.Root, doc.Index(), s.cfg.TraceLimit)
+	case engine == EngineOptHyPE:
+		res.nodes, res.stats = plan.EvalIndexedWithStats(doc.Doc.Root, doc.Index())
+	case traced:
+		res.nodes, res.stats, res.trace = plan.EvalTraced(doc.Doc.Root, s.cfg.TraceLimit)
+	default:
+		res.nodes, res.stats = plan.EvalWithStats(doc.Doc.Root)
+	}
+	return res
 }
 
 // Stats is the server-wide statistics snapshot served at /stats.
@@ -242,23 +344,55 @@ type Stats struct {
 	Documents     int        `json:"documents"`
 	Views         int        `json:"views"`
 	Cache         CacheStats `json:"cache"`
-	// Engine statistics aggregated across every evaluation.
+	// Engine statistics aggregated across every evaluation. Each request
+	// adds its run's private Stats value here, so summing the
+	// per-response numbers of all completed requests reproduces these
+	// aggregates exactly.
 	VisitedElements int64 `json:"visited_elements"`
 	SkippedSubtrees int64 `json:"skipped_subtrees"`
+	SkippedElements int64 `json:"skipped_elements"`
 	AFAEvaluations  int64 `json:"afa_evaluations"`
+	SlowQueries     int64 `json:"slow_queries"`
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Requests:        s.requests.Load(),
-		Failures:        s.failures.Load(),
+		Requests:        s.met.requests.Value(),
+		Failures:        s.met.failures.Value(),
 		Documents:       len(s.reg.Documents()),
 		Views:           len(s.reg.Views()),
 		Cache:           s.cache.Stats(),
-		VisitedElements: s.visited.Load(),
-		SkippedSubtrees: s.skipped.Load(),
-		AFAEvaluations:  s.afaEvals.Load(),
+		VisitedElements: s.met.visited.Value(),
+		SkippedSubtrees: s.met.skippedSub.Value(),
+		SkippedElements: s.met.skippedEle.Value(),
+		AFAEvaluations:  s.met.afaEvals.Value(),
+		SlowQueries:     s.met.slowQueries.Value(),
 	}
+}
+
+// HealthInfo is the build and liveness report served at /healthz.
+type HealthInfo struct {
+	Status        string    `json:"status"`
+	Module        string    `json:"module"`
+	Version       string    `json:"version"`
+	GoVersion     string    `json:"go_version"`
+	Started       time.Time `json:"started"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+// Health returns the server's build/version/uptime report.
+func (s *Server) Health() HealthInfo {
+	h := HealthInfo{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Started:       s.start,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Module = bi.Main.Path
+		h.Version = bi.Main.Version
+	}
+	return h
 }

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one entry of the slow-query log: enough context to re-run
+// the request (doc, view, query, engine) plus what it cost.
+type SlowQuery struct {
+	Time          time.Time  `json:"time"`
+	Doc           string     `json:"doc"`
+	View          string     `json:"view,omitempty"`
+	Query         string     `json:"query"`
+	Engine        EngineKind `json:"engine"`
+	ElapsedMicros int64      `json:"elapsed_us"`
+	Count         int        `json:"count"`
+	Visited       int        `json:"visited_elements"`
+	CacheHit      bool       `json:"cache_hit"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of queries slower than a
+// threshold. When full, a new entry overwrites the oldest — the log holds
+// the most recent slow queries, and Total keeps the lifetime count. Safe
+// for concurrent use.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	entries   []SlowQuery // ring storage, len == used capacity
+	capacity  int
+	next      int   // ring write position
+	total     int64 // lifetime slow-query count
+}
+
+// NewSlowLog returns a log keeping up to capacity entries (minimum 1) of
+// queries that took threshold or longer. A negative threshold disables
+// recording entirely; zero records everything (useful in tests).
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, capacity: capacity}
+}
+
+// Threshold returns the configured slowness bound.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Record stores e if it qualifies as slow and reports whether it did.
+func (l *SlowLog) Record(e SlowQuery) bool {
+	if l.threshold < 0 || time.Duration(e.ElapsedMicros)*time.Microsecond < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < l.capacity {
+		l.entries = append(l.entries, e)
+		l.next = len(l.entries) % l.capacity
+		return true
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.capacity
+	return true
+}
+
+// Total returns the lifetime number of recorded slow queries (including
+// entries the ring has since overwritten).
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.entries))
+	// Walk the ring backwards from the most recent write.
+	for i := 0; i < len(l.entries); i++ {
+		idx := (l.next - 1 - i + l.capacity*2) % l.capacity
+		if idx < len(l.entries) {
+			out = append(out, l.entries[idx])
+		}
+	}
+	return out
+}
+
+// slowEntry assembles a SlowQuery from one finished request.
+func slowEntry(req QueryRequest, engine EngineKind, resp *QueryResponse, now time.Time) SlowQuery {
+	return SlowQuery{
+		Time:          now,
+		Doc:           req.Doc,
+		View:          req.View,
+		Query:         req.Query,
+		Engine:        engine,
+		ElapsedMicros: resp.ElapsedMicros,
+		Count:         resp.Count,
+		Visited:       resp.Visited,
+		CacheHit:      resp.CacheHit,
+	}
+}

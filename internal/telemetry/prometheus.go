@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format produced by WritePrometheus.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families in registration order, each
+// with # HELP / # TYPE headers, series in first-registration order.
+// Histograms emit cumulative <name>_bucket series with le labels
+// (including +Inf), plus <name>_sum and <name>_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ew := &errWriter{w: w}
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			ew.printf("# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		ew.printf("# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				ew.printf("%s %d\n", seriesName(f.name, s.key, ""), s.c.Value())
+			case kindGauge:
+				ew.printf("%s %s\n", seriesName(f.name, s.key, ""), formatFloat(s.g.Value()))
+			case kindHistogram:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := `le="` + formatFloat(bound) + `"`
+					ew.printf("%s %d\n", seriesName(f.name+"_bucket", s.key, le), cum)
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				ew.printf("%s %d\n", seriesName(f.name+"_bucket", s.key, `le="+Inf"`), cum)
+				ew.printf("%s %s\n", seriesName(f.name+"_sum", s.key, ""), formatFloat(s.h.Sum()))
+				ew.printf("%s %d\n", seriesName(f.name+"_count", s.key, ""), s.h.Count())
+			}
+		}
+	}
+	return ew.err
+}
+
+// Handler returns an http.Handler serving WritePrometheus — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// seriesName renders name{labels,extra} with empty parts elided.
+func seriesName(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total", "requests", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same instance.
+	if r.Counter("reqs_total", "requests", nil) != c {
+		t.Error("re-lookup returned a different counter")
+	}
+	// Different labels make a distinct series.
+	c2 := r.Counter("reqs_total", "requests", Labels{"view": "v"})
+	if c2 == c {
+		t.Error("labeled series must be distinct")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "", nil)
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+	r.GaugeFunc("uptime", "", nil, func() float64 { return 42 })
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "uptime 42\n") {
+		t.Errorf("func gauge missing:\n%s", out.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Errorf("sum = %v, want 106", h.Sum())
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Cumulative: ≤1 holds {0.5, 1}, ≤2 adds 1.5, ≤4 adds 3, +Inf adds 100.
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 106`,
+		`lat_count 5`,
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelsSortedAndEscaped(t *testing.T) {
+	r := New()
+	r.Counter("m", "", Labels{"b": "2", "a": `x"y\z`}).Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{a="x\"y\\z",b="2"} 1`
+	if !strings.Contains(out.String(), want+"\n") {
+		t.Errorf("want %q in:\n%s", want, out.String())
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "first metric", nil).Add(7)
+	r.Gauge("b", "", Labels{"k": "v"}).Set(1.25)
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP a_total first metric\n# TYPE a_total counter\na_total 7\n# TYPE b gauge\nb{k=\"v\"} 1.25\n"
+	if out.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// run with -race in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c", "", nil).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h", "", []float64{0.5}, Labels{"w": "x"}).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "", nil).Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g", "", nil).Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	h := r.Histogram("h", "", nil, Labels{"w": "x"})
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if math.Abs(h.Sum()-0.25*workers*iters) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), 0.25*workers*iters)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+}

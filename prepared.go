@@ -3,6 +3,7 @@ package smoqe
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smoqe/internal/hype"
 	"smoqe/internal/mfa"
@@ -27,9 +28,30 @@ import (
 //	...
 //	nodes := p.Eval(doc.Root)           // many times, from any goroutine
 //	st := p.Stats()                     // aggregated across all runs
+//
+// PlanTimings records how long each preparation phase of a plan took —
+// the per-phase cost breakdown the §7 experiments (and the EXPLAIN
+// output) report. Phases that did not run for this plan stay zero: a
+// direct Prepare has no Rewrite, a PrepareOnView folds compilation into
+// the rewrite, a PrepareMFA did all its work elsewhere.
+type PlanTimings struct {
+	// Parse is the query parsing time (only when the plan was prepared
+	// from concrete syntax).
+	Parse time.Duration `json:"parse_ns"`
+	// Rewrite is the view rewriting time, including the internal compile
+	// and simplification passes (Algorithm rewrite, §5).
+	Rewrite time.Duration `json:"rewrite_ns"`
+	// Compile is the query→MFA compilation time for direct plans (§4).
+	Compile time.Duration `json:"compile_ns"`
+}
+
+// Total sums the recorded phases.
+func (t PlanTimings) Total() time.Duration { return t.Parse + t.Rewrite + t.Compile }
+
 type PreparedQuery struct {
-	m    *MFA
-	pool *enginePool
+	m       *MFA
+	pool    *enginePool
+	timings PlanTimings
 
 	// opt maps a document's index to a pool of OptHyPE clones. All clones
 	// for one index share that single index (it is read-only after build);
@@ -60,31 +82,62 @@ func newEnginePool(proto *Engine) *enginePool {
 
 // Prepare compiles q into a reusable, concurrency-safe prepared query.
 func Prepare(q Query) (*PreparedQuery, error) {
+	start := time.Now()
 	m, err := mfa.Compile(q)
 	if err != nil {
 		return nil, err
 	}
-	return PrepareMFA(m), nil
+	p := PrepareMFA(m)
+	p.timings.Compile = time.Since(start)
+	return p, nil
 }
 
 // PrepareString is Prepare for a query in concrete syntax.
 func PrepareString(qsrc string) (*PreparedQuery, error) {
+	start := time.Now()
 	q, err := ParseQuery(qsrc)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(q)
+	parse := time.Since(start)
+	p, err := Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	p.timings.Parse = parse
+	return p, nil
 }
 
 // PrepareOnView rewrites q (posed on the view) into a source automaton and
 // prepares it: each Eval then returns the source nodes backing Q(σ(T))
 // without materializing the view.
 func PrepareOnView(v *View, q Query) (*PreparedQuery, error) {
+	start := time.Now()
 	m, err := rewrite.Rewrite(v, q)
 	if err != nil {
 		return nil, err
 	}
-	return PrepareMFA(m), nil
+	p := PrepareMFA(m)
+	p.timings.Rewrite = time.Since(start)
+	return p, nil
+}
+
+// PrepareStringOnView parses qsrc and rewrites it over v, recording both
+// phase timings — the form the serving layer uses so EXPLAIN can report
+// the parse/rewrite cost split of a cached plan.
+func PrepareStringOnView(v *View, qsrc string) (*PreparedQuery, error) {
+	start := time.Now()
+	q, err := ParseQuery(qsrc)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(start)
+	p, err := PrepareOnView(v, q)
+	if err != nil {
+		return nil, err
+	}
+	p.timings.Parse = parse
+	return p, nil
 }
 
 // PrepareMFA wraps an already-built automaton (compiled, rewritten, merged
@@ -96,14 +149,38 @@ func PrepareMFA(m *MFA) *PreparedQuery {
 // MFA returns the underlying automaton.
 func (p *PreparedQuery) MFA() *MFA { return p.m }
 
+// Timings returns the recorded preparation phase durations.
+func (p *PreparedQuery) Timings() PlanTimings { return p.timings }
+
 // Eval evaluates the prepared query at ctx with HyPE. Safe to call from
 // any number of goroutines concurrently.
 func (p *PreparedQuery) Eval(ctx *Node) []*Node {
+	nodes, _ := p.EvalWithStats(ctx)
+	return nodes
+}
+
+// EvalWithStats is Eval additionally returning the engine statistics of
+// exactly this run. Because every Eval borrows a private engine clone,
+// the returned value is exact even when any number of goroutines share
+// the plan — this is what per-request reporting must use (reading the
+// aggregate Stats() before and after is racy by construction).
+func (p *PreparedQuery) EvalWithStats(ctx *Node) ([]*Node, EngineStats) {
 	e := p.pool.pool.Get().(*Engine)
-	res := e.Eval(ctx)
-	p.account(e.Stats())
+	res, st := e.EvalWithStats(ctx)
+	p.account(st)
 	p.pool.pool.Put(e)
-	return res
+	return res, st
+}
+
+// EvalTraced is EvalWithStats plus a capped per-node decision trace (see
+// hype.Trace); limit <= 0 applies hype.DefaultTraceLimit. Safe for
+// concurrent use; the trace belongs to this run alone.
+func (p *PreparedQuery) EvalTraced(ctx *Node, limit int) ([]*Node, EngineStats, *Trace) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, tr := e.EvalTraced(ctx, limit)
+	p.account(st)
+	p.pool.pool.Put(e)
+	return res, st, tr
 }
 
 // EvalIndexed evaluates with OptHyPE against the given subtree index,
@@ -111,7 +188,35 @@ func (p *PreparedQuery) Eval(ctx *Node) []*Node {
 // the same index share it; distinct indexes get distinct pools. Safe for
 // concurrent use.
 func (p *PreparedQuery) EvalIndexed(ctx *Node, idx *Index) []*Node {
+	nodes, _ := p.EvalIndexedWithStats(ctx, idx)
+	return nodes
+}
+
+// EvalIndexedWithStats is EvalIndexed returning this run's exact
+// statistics (see EvalWithStats).
+func (p *PreparedQuery) EvalIndexedWithStats(ctx *Node, idx *Index) ([]*Node, EngineStats) {
+	ep := p.indexPool(idx)
+	e := ep.pool.Get().(*Engine)
+	res, st := e.EvalWithStats(ctx)
+	p.account(st)
+	ep.pool.Put(e)
+	return res, st
+}
+
+// EvalIndexedTraced is EvalIndexed with per-run statistics and a capped
+// decision trace; index prunes appear with their skipped-element counts.
+func (p *PreparedQuery) EvalIndexedTraced(ctx *Node, idx *Index, limit int) ([]*Node, EngineStats, *Trace) {
+	ep := p.indexPool(idx)
+	e := ep.pool.Get().(*Engine)
+	res, st, tr := e.EvalTraced(ctx, limit)
+	p.account(st)
+	ep.pool.Put(e)
+	return res, st, tr
+}
+
+func (p *PreparedQuery) indexPool(idx *Index) *enginePool {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	ep, ok := p.opt[idx]
 	if !ok {
 		if p.opt == nil {
@@ -120,23 +225,25 @@ func (p *PreparedQuery) EvalIndexed(ctx *Node, idx *Index) []*Node {
 		ep = newEnginePool(hype.NewOpt(p.m, idx))
 		p.opt[idx] = ep
 	}
-	p.mu.Unlock()
-	e := ep.pool.Get().(*Engine)
-	res := e.Eval(ctx)
-	p.account(e.Stats())
-	ep.pool.Put(e)
-	return res
+	return ep
 }
 
 // EvalTagged evaluates a batch automaton (see Merge) in one pass and
 // returns each merged machine's answers indexed by tag. Safe for
 // concurrent use.
 func (p *PreparedQuery) EvalTagged(ctx *Node) [][]*Node {
-	e := p.pool.pool.Get().(*Engine)
-	res := e.EvalTagged(ctx)
-	p.account(e.Stats())
-	p.pool.pool.Put(e)
+	res, _ := p.EvalTaggedWithStats(ctx)
 	return res
+}
+
+// EvalTaggedWithStats is EvalTagged returning this run's exact
+// statistics.
+func (p *PreparedQuery) EvalTaggedWithStats(ctx *Node) ([][]*Node, EngineStats) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st := e.EvalTaggedWithStats(ctx)
+	p.account(st)
+	p.pool.pool.Put(e)
+	return res, st
 }
 
 func (p *PreparedQuery) account(st EngineStats) {

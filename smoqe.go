@@ -98,6 +98,13 @@ type EngineStats = hype.Stats
 // Index is the subtree-label index behind OptHyPE and OptHyPE-C.
 type Index = hype.Index
 
+// Trace is the capped per-node decision log of a traced HyPE run — the
+// EXPLAIN mode of the engine (see PreparedQuery.EvalTraced).
+type Trace = hype.Trace
+
+// TraceEvent is one recorded decision of a traced run.
+type TraceEvent = hype.TraceEvent
+
 // IDsOf returns the document-order IDs of the given nodes — the stable
 // node references the serving layer returns to clients.
 func IDsOf(ns []*Node) []int { return xmltree.IDsOf(ns) }
