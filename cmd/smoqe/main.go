@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	smoqe eval -query Q -doc FILE [-engine hype|opthype|opthype-c|ref|twopass] [-stats]
+//	smoqe eval -query Q -doc FILE [-engine hype|opthype|opthype-c|ref|twopass] [-stats] [-parallel N]
 //	smoqe rewrite -query Q -view SPEC -docdtd FILE -viewdtd FILE [-print]
 //	smoqe explain -query Q [-view SPEC -docdtd FILE -viewdtd FILE] [-doc FILE] [-print] [-dot FILE] [-trace N]
 //	smoqe answer -query Q -view SPEC -docdtd FILE -viewdtd FILE -doc FILE
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -115,6 +116,7 @@ func cmdEval(args []string) error {
 	engine := fs.String("engine", "hype", "hype | opthype | opthype-c | ref | twopass")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	showPaths := fs.Bool("paths", false, "print node paths instead of a count")
+	parallel := fs.Int("parallel", 0, "shard-parallel workers (automaton engines only; 0 = sequential, -1 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,15 +170,33 @@ func cmdEval(args []string) error {
 		case "opthype-c":
 			eng = smoqe.NewOptEngine(m, smoqe.BuildIndex(doc, true))
 		}
-		nodes = eng.Eval(doc.Root)
+		if *parallel != 0 && *parallel != 1 {
+			var pst smoqe.ParallelStats
+			nodes, pst, err = eng.EvalParallel(context.Background(), doc.Root, *parallel)
+			if err != nil {
+				return err
+			}
+			if *stats {
+				fmt.Printf("parallel: %d shards on %d workers (%d spine nodes)\n",
+					pst.Shards, pst.Workers, pst.SpineNodes)
+			}
+		} else {
+			nodes = eng.Eval(doc.Root)
+		}
 	case "ref":
 		if q == nil {
 			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c)")
+		}
+		if *parallel != 0 && *parallel != 1 {
+			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
 		}
 		nodes = smoqe.EvalReference(q, doc.Root)
 	case "twopass":
 		if q == nil {
 			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c)")
+		}
+		if *parallel != 0 && *parallel != 1 {
+			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
 		}
 		nodes, err = smoqe.EvalTwoPass(q, doc.Root)
 		if err != nil {
@@ -391,6 +411,7 @@ func cmdBatch(args []string) error {
 	docdtd := fs.String("docdtd", "", "source DTD file (with -view)")
 	viewdtd := fs.String("viewdtd", "", "view DTD file (with -view)")
 	stats := fs.Bool("stats", false, "print per-query visited/skipped/prune-rate (runs each query individually after the batch pass)")
+	parallel := fs.Int("parallel", 0, "shard-parallel workers for the batch pass (0 = sequential, -1 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -446,7 +467,17 @@ func cmdBatch(args []string) error {
 		return err
 	}
 	eng := smoqe.NewEngine(merged)
-	results := eng.EvalTagged(doc.Root)
+	var results [][]*smoqe.Node
+	if *parallel != 0 && *parallel != 1 {
+		var pst smoqe.ParallelStats
+		results, pst, err = eng.EvalTaggedParallel(context.Background(), doc.Root, *parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parallel batch pass: %d shards on %d workers\n", pst.Shards, pst.Workers)
+	} else {
+		results = eng.EvalTagged(doc.Root)
+	}
 	st := eng.Stats()
 	total := doc.ComputeStats().Elements
 	if *stats {

@@ -10,6 +10,7 @@
 //	       [-doc name=file.xml ...]
 //	       [-view name=spec.view,source.dtd,target.dtd ...]
 //	       [-sample] [-pprof] [-slow-threshold 250ms] [-slowlog 128]
+//	       [-parallelism 0] [-max-concurrent 4×GOMAXPROCS] [-queue-wait 100ms]
 //
 // The API (see docs/SERVER.md and docs/OBSERVABILITY.md):
 //
@@ -24,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -43,6 +45,9 @@ func main() {
 	slowLogSize := flag.Int("slowlog", 128, "slow-query log capacity (entries)")
 	traceLimit := flag.Int("trace-limit", 0, "per-node trace cap for explain requests (0 = engine default)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	parallelism := flag.Int("parallelism", 0, "shard-parallel worker cap per evaluation (0 disables, -1 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 4*runtime.GOMAXPROCS(0), "admission control: evaluations running at once (0 = unbounded)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for an evaluation slot before a 429")
 
 	var docFlags, viewFlags multiFlag
 	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
@@ -57,6 +62,9 @@ func main() {
 		SlowLogSize:        *slowLogSize,
 		TraceLimit:         *traceLimit,
 		EnablePprof:        *enablePprof,
+		MaxParallelism:     *parallelism,
+		MaxConcurrentEvals: *maxConcurrent,
+		QueueWait:          *queueWait,
 	})
 
 	if *sample {

@@ -1,6 +1,7 @@
 package hype
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -256,8 +257,21 @@ func (e *Engine) Eval(ctx *xmltree.Node) []*xmltree.Node {
 // form concurrent callers (engine-clone pools) need: the returned Stats
 // belong to exactly this run, with no shared mutable state involved.
 func (e *Engine) EvalWithStats(ctx *xmltree.Node) ([]*xmltree.Node, Stats) {
-	hits, st := e.run(ctx, nil)
+	hits, st, _ := e.run(nil, ctx, nil)
 	return candNodes(hits), st
+}
+
+// EvalCtx is EvalWithStats honoring a context: the DFS checks ctx every
+// cancelCheckInterval visited elements and unwinds promptly once it is
+// cancelled, returning ctx's error and the (partial, meaningless beyond
+// accounting) statistics of the aborted run. A nil-Done context costs one
+// Err() call per interval.
+func (e *Engine) EvalCtx(ctx context.Context, n *xmltree.Node) ([]*xmltree.Node, Stats, error) {
+	hits, st, err := e.run(ctx, n, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	return candNodes(hits), st, nil
 }
 
 // EvalTagged evaluates a batch automaton (see mfa.Merge) in ONE pass and
@@ -270,15 +284,30 @@ func (e *Engine) EvalTagged(ctx *xmltree.Node) [][]*xmltree.Node {
 
 // EvalTaggedWithStats is EvalTagged returning this run's statistics.
 func (e *Engine) EvalTaggedWithStats(ctx *xmltree.Node) ([][]*xmltree.Node, Stats) {
-	hits, st := e.run(ctx, nil)
-	out := make([][]*xmltree.Node, e.m.NumTags())
+	hits, st, _ := e.run(nil, ctx, nil)
+	return taggedNodes(e.m.NumTags(), hits), st
+}
+
+// EvalTaggedCtx is EvalTaggedWithStats honoring a context (see EvalCtx).
+func (e *Engine) EvalTaggedCtx(ctx context.Context, n *xmltree.Node) ([][]*xmltree.Node, Stats, error) {
+	hits, st, err := e.run(ctx, n, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	return taggedNodes(e.m.NumTags(), hits), st, nil
+}
+
+// taggedNodes groups candidate hits by their result tag and normalizes each
+// group to sorted document order.
+func taggedNodes(numTags int, hits []cand) [][]*xmltree.Node {
+	out := make([][]*xmltree.Node, numTags)
 	for _, c := range hits {
 		out[c.tag] = append(out[c.tag], c.node)
 	}
 	for i := range out {
 		out[i] = xmltree.SortNodes(out[i])
 	}
-	return out, st
+	return out
 }
 
 func candNodes(hits []cand) []*xmltree.Node {
@@ -293,65 +322,93 @@ func candNodes(hits []cand) []*xmltree.Node {
 // surviving candidate answers with the run's statistics. Statistics
 // accumulate in the run value, not the engine, so the result is exact for
 // this run regardless of what other clones do; e.stats keeps the last
-// run's copy for the legacy Stats() accessor.
-func (e *Engine) run(ctx *xmltree.Node, tr *Trace) ([]cand, Stats) {
-	r := &run{Engine: e, trace: tr}
+// run's copy for the legacy Stats() accessor. A non-nil cctx cancels the
+// DFS: run then returns cctx's error and whatever partial statistics the
+// aborted pass accumulated.
+func (e *Engine) run(cctx context.Context, ctx *xmltree.Node, tr *Trace) ([]cand, Stats, error) {
+	if cctx != nil {
+		if err := cctx.Err(); err != nil {
+			e.stats = Stats{}
+			return nil, Stats{}, err
+		}
+	}
+	r := &run{Engine: e, trace: tr, ctx: cctx}
 	ms := r.getNFASet()
 	ms.set(e.m.Start)
 	r.closeNFA(ms)
 	seeds := r.guardSeeds(ms)
 	res := r.visit(ctx, ms, seeds)
+	if r.cancelled {
+		e.stats = r.stats
+		return nil, r.stats, cctx.Err()
+	}
 
 	// Phase 2: walk cans from the initial vertex (ctx, start state).
-	var hits []cand
-	if len(res.states) > 0 && len(r.cands) > 0 {
-		startVid := int32(-1)
-		for i, s := range res.states {
-			if int(s) == e.m.Start {
-				startVid = res.base + int32(i)
-				break
-			}
-		}
-		if startVid >= 0 && !r.dead[startVid] {
-			// Build CSR adjacency from the flat edge list.
-			offs := make([]int32, r.numVerts+1)
-			for _, ep := range r.edgeList {
-				offs[ep.from+1]++
-			}
-			for i := 1; i < len(offs); i++ {
-				offs[i] += offs[i-1]
-			}
-			adj := make([]int32, len(r.edgeList))
-			fill := make([]int32, r.numVerts)
-			for _, ep := range r.edgeList {
-				adj[offs[ep.from]+fill[ep.from]] = ep.to
-				fill[ep.from]++
-			}
-			seen := make([]bool, r.numVerts)
-			stack := []int32{startVid}
-			seen[startVid] = true
-			for len(stack) > 0 {
-				v := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for _, w := range adj[offs[v]:offs[v+1]] {
-					if !seen[w] && !r.dead[w] {
-						seen[w] = true
-						stack = append(stack, w)
-					}
-				}
-			}
-			for _, c := range r.cands {
-				if seen[c.vid] {
-					hits = append(hits, c)
-				}
-			}
-		}
-	}
+	hits := r.liveCands(res)
 	r.stats.CansVertices = r.numVerts
 	r.stats.CansEdges = len(r.edgeList)
 	e.stats = r.stats
-	return hits, r.stats
+	return hits, r.stats, nil
 }
+
+// liveCands walks the cans DAG from the initial vertex (the root's vertex
+// at the NFA start state) and returns the candidate answers reachable
+// without crossing a guard-killed vertex — phase 2 of HyPE.
+func (r *run) liveCands(res visitResult) []cand {
+	if len(res.states) == 0 || len(r.cands) == 0 {
+		return nil
+	}
+	startVid := int32(-1)
+	for i, s := range res.states {
+		if int(s) == r.m.Start {
+			startVid = res.base + int32(i)
+			break
+		}
+	}
+	if startVid < 0 || r.dead[startVid] {
+		return nil
+	}
+	// Build CSR adjacency from the flat edge list.
+	offs := make([]int32, r.numVerts+1)
+	for _, ep := range r.edgeList {
+		offs[ep.from+1]++
+	}
+	for i := 1; i < len(offs); i++ {
+		offs[i] += offs[i-1]
+	}
+	adj := make([]int32, len(r.edgeList))
+	fill := make([]int32, r.numVerts)
+	for _, ep := range r.edgeList {
+		adj[offs[ep.from]+fill[ep.from]] = ep.to
+		fill[ep.from]++
+	}
+	seen := make([]bool, r.numVerts)
+	stack := []int32{startVid}
+	seen[startVid] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[offs[v]:offs[v+1]] {
+			if !seen[w] && !r.dead[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	var hits []cand
+	for _, c := range r.cands {
+		if seen[c.vid] {
+			hits = append(hits, c)
+		}
+	}
+	return hits
+}
+
+// cancelCheckInterval is how many visited elements pass between context
+// checks in a cancellable run: frequent enough that cancellation aborts
+// within microseconds, rare enough that the atomic load in Context.Err is
+// invisible in profiles.
+const cancelCheckInterval = 256
 
 // run holds the per-evaluation state.
 type run struct {
@@ -362,6 +419,12 @@ type run struct {
 	stats Stats
 	// trace, when non-nil, records per-node decisions (capped).
 	trace *Trace
+	// ctx, when non-nil, lets the DFS abort early: visit polls ctx.Err()
+	// every cancelCheckInterval elements and, once cancelled, every
+	// remaining visit returns immediately so the recursion unwinds fast.
+	ctx        context.Context
+	sinceCheck int
+	cancelled  bool
 
 	// cans DAG, stored pointer-free so the GC never scans it: vertices
 	// are just indices (numVerts), edges live in a flat list (CSR built
@@ -576,6 +639,20 @@ func (r *run) closeAFA(g int, set nfaSet) {
 // relevant children, evaluates active AFAs bottom-up and returns the
 // results the parent folds.
 func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
+	if r.ctx != nil && !r.cancelled {
+		if r.sinceCheck++; r.sinceCheck >= cancelCheckInterval {
+			r.sinceCheck = 0
+			if r.ctx.Err() != nil {
+				r.cancelled = true
+			}
+		}
+	}
+	if r.cancelled {
+		// Unwind without touching the tree: the empty result folds into
+		// the parent as if the subtree contributed nothing, and the whole
+		// run is discarded by the caller anyway.
+		return visitResult{base: int32(r.numVerts)}
+	}
 	r.stats.VisitedElements++
 
 	// Close AFA seed sets: rel[g] is the paper's fstates↓(n)[g] extended
@@ -594,28 +671,7 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 		r.trace.add(n, TraceVisit, fmt.Sprintf("nfa-states=%d active-afas=%d", ms.count(), nAFA))
 	}
 
-	// Allocate cans vertices for ms.
-	res := visitResult{base: int32(r.numVerts), states: r.getStates()}
-	ms.forEach(func(s int) {
-		if r.m.States[s].Final {
-			r.cands = append(r.cands, cand{
-				vid:  int32(r.numVerts) + int32(len(res.states)),
-				tag:  int32(r.m.States[s].Tag),
-				node: n,
-			})
-		}
-		res.states = append(res.states, int32(s))
-		r.dead = append(r.dead, false)
-	})
-	r.numVerts += len(res.states)
-	// ε edges among this node's vertices.
-	for i, s := range res.states {
-		for _, t := range r.epsAdj[s] {
-			if j, ok := findState(res.states, t); ok {
-				r.edgeList = append(r.edgeList, edgePair{res.base + int32(i), res.base + int32(j)})
-			}
-		}
-	}
+	res := r.openNode(n, ms)
 
 	// Per-AFA transition accumulators (the bottom-up inputs of EvalAt).
 	var transAcc [][]bool
@@ -640,7 +696,7 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 			if c.Kind != xmltree.Element {
 				continue
 			}
-			r.visitChild(n, c, ms, rel, transAcc, &res)
+			r.visitChild(c, ms, rel, transAcc, &res)
 		}
 	}
 
@@ -661,13 +717,51 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 		r.putVecB(transAcc)
 	}
 
-	// Kill vertices whose guard failed (lines 14–15 of PCans).
+	r.killGuardFailed(n, &res)
+	return res
+}
+
+// openNode allocates the cans vertices for the active NFA states at node n
+// (final states become candidate answers) together with the ε edges among
+// them, and returns the node's visitResult shell.
+func (r *run) openNode(n *xmltree.Node, ms nfaSet) visitResult {
+	res := visitResult{base: int32(r.numVerts), states: r.getStates()}
+	ms.forEach(func(s int) {
+		if r.m.States[s].Final {
+			r.cands = append(r.cands, cand{
+				vid:  int32(r.numVerts) + int32(len(res.states)),
+				tag:  int32(r.m.States[s].Tag),
+				node: n,
+			})
+		}
+		res.states = append(res.states, int32(s))
+		r.dead = append(r.dead, false)
+	})
+	r.numVerts += len(res.states)
+	// ε edges among this node's vertices.
+	for i, s := range res.states {
+		for _, t := range r.epsAdj[s] {
+			if j, ok := findState(res.states, t); ok {
+				r.edgeList = append(r.edgeList, edgePair{res.base + int32(i), res.base + int32(j)})
+			}
+		}
+	}
+	return res
+}
+
+// killGuardFailed marks the vertices of res whose guard AFA came out false
+// (lines 14–15 of PCans); res.afaVals must hold the node's bottom-up AFA
+// values.
+func (r *run) killGuardFailed(n *xmltree.Node, res *visitResult) {
 	for i, s := range res.states {
 		g := r.m.States[s].Guard
 		if g < 0 {
 			continue
 		}
-		vals := res.afaVals[g]
+		var vals []bool
+		if res.afaVals != nil {
+			vals = res.afaVals[g]
+		}
 		if vals == nil || !vals[r.m.GuardEntry(int(s))] {
 			r.dead[res.base+int32(i)] = true
 			if r.trace != nil {
@@ -675,15 +769,45 @@ func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
 			}
 		}
 	}
-	return res
 }
 
 // visitChild decides whether child c needs visiting, computes its mstates
 // and AFA seeds, recurses, and folds the child's AFA values and cans edges
 // into the parent's accumulators.
-func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [][]bool, res *visitResult) {
+func (r *run) visitChild(c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [][]bool, res *visitResult) {
+	cms, cseeds, ok := r.childStates(c, ms, rel)
+	if !ok {
+		return
+	}
+
+	cres := r.visit(c, cms, cseeds)
+
+	r.linkChild(res, c.Label, cres.states, cres.base)
+	r.foldChildAFA(rel, transAcc, c.Label, cres.afaVals)
+
+	// Recycle the child's buffers.
+	if cres.afaVals != nil {
+		for g := range cres.afaVals {
+			if cres.afaVals[g] != nil {
+				r.putBools(g, cres.afaVals[g])
+			}
+		}
+		r.putVecB(cres.afaVals)
+	}
+	r.putStates(cres.states)
+	r.releaseChildStates(cms, cseeds)
+}
+
+// childStates computes the NFA state set and AFA seed sets a visit of child
+// c would start from, given the parent's active states ms and closed AFA
+// sets rel. When the child would contribute nothing — no transition matches
+// (HyPE's "no-transition" prune) or the subtree index refutes progress
+// (OptHyPE's "index-alphabet" prune) — it records the prune, releases the
+// sets and reports ok=false. On ok=true ownership of cms/cseeds passes to
+// the caller (release with releaseChildStates, or hand them to a shard).
+func (r *run) childStates(c *xmltree.Node, ms nfaSet, rel []nfaSet) (cms nfaSet, cseeds []nfaSet, ok bool) {
 	// Child mstates: targets of matching transitions, then ε-closure.
-	cms := r.getNFASet()
+	cms = r.getNFASet()
 	anyNFA := false
 	ms.forEach(func(s int) {
 		for _, tr := range r.m.States[s].Trans {
@@ -703,7 +827,7 @@ func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [
 
 	// Child AFA seeds: targets of matching TRANS states in rel, plus
 	// guard entries of guarded states in cms.
-	cseeds := r.getVecN()
+	cseeds = r.getVecN()
 	anySeed := false
 	for g := range rel {
 		if rel[g] == nil {
@@ -737,76 +861,73 @@ func (r *run) visitChild(n, c *xmltree.Node, ms nfaSet, rel []nfaSet, transAcc [
 		anySeed = true
 	})
 
-	release := func() {
-		r.putNFASet(cms)
-		for g := range cseeds {
-			if cseeds[g] != nil {
-				r.putAFASet(g, cseeds[g])
-			}
-		}
-		r.putVecN(cseeds)
-	}
 	if !anyNFA && !anySeed {
 		r.prune(c, "no-transition")
-		release()
-		return
+		r.releaseChildStates(cms, cseeds)
+		return nil, nil, false
 	}
 
 	// Index-based pruning (OptHyPE): skip the subtree when no active
 	// state can make progress against the child's subtree alphabet.
 	if r.idx != nil && !r.useful(c, cms, cseeds) {
 		r.prune(c, "index-alphabet")
-		release()
-		return
+		r.releaseChildStates(cms, cseeds)
+		return nil, nil, false
 	}
+	return cms, cseeds, true
+}
 
-	cres := r.visit(c, cms, cseeds)
+// releaseChildStates returns a childStates result to the run's pools.
+func (r *run) releaseChildStates(cms nfaSet, cseeds []nfaSet) {
+	r.putNFASet(cms)
+	for g := range cseeds {
+		if cseeds[g] != nil {
+			r.putAFASet(g, cseeds[g])
+		}
+	}
+	r.putVecN(cseeds)
+}
 
-	// cans edges for matching transitions.
+// linkChild adds the cans edges for transitions from res's vertices into a
+// visited child's vertices; childBase is the global vertex id of the
+// child's first state (shard merging passes an offset-adjusted base).
+func (r *run) linkChild(res *visitResult, childLabel string, childStates []int32, childBase int32) {
 	for i, s := range res.states {
 		for _, tr := range r.m.States[s].Trans {
-			if !tr.Matches(c.Label) {
+			if !tr.Matches(childLabel) {
 				continue
 			}
-			if j, ok := findState(cres.states, int32(tr.To)); ok {
-				r.edgeList = append(r.edgeList, edgePair{res.base + int32(i), cres.base + int32(j)})
+			if j, ok := findState(childStates, int32(tr.To)); ok {
+				r.edgeList = append(r.edgeList, edgePair{res.base + int32(i), childBase + int32(j)})
 			}
 		}
 	}
+}
 
-	// Fold child AFA values into the parent's transition accumulators
-	// (the fstates↑ propagation of lines 19–21).
+// foldChildAFA ORs a visited child's bottom-up AFA truth vectors into the
+// parent's transition accumulators (the fstates↑ propagation of lines
+// 19–21 of HyPE). childVals may be nil (no AFA active below the child).
+func (r *run) foldChildAFA(rel []nfaSet, transAcc [][]bool, childLabel string, childVals [][]bool) {
 	for g := range rel {
-		if rel[g] == nil || cres.afaVals == nil || cres.afaVals[g] == nil {
+		if rel[g] == nil || childVals == nil || childVals[g] == nil {
 			continue
 		}
 		a := r.m.AFAs[g]
 		acc := transAcc[g]
+		vals := childVals[g]
 		rel[g].forEach(func(t int) {
 			st := &a.States[t]
 			if st.Kind != mfa.AFATrans || acc[t] {
 				return
 			}
-			if !st.Wild && st.Label != c.Label {
+			if !st.Wild && st.Label != childLabel {
 				return
 			}
-			if cres.afaVals[g][st.Kids[0]] {
+			if vals[st.Kids[0]] {
 				acc[t] = true
 			}
 		})
 	}
-
-	// Recycle the child's buffers.
-	if cres.afaVals != nil {
-		for g := range cres.afaVals {
-			if cres.afaVals[g] != nil {
-				r.putBools(g, cres.afaVals[g])
-			}
-		}
-		r.putVecB(cres.afaVals)
-	}
-	r.putStates(cres.states)
-	release()
 }
 
 func (r *run) prune(c *xmltree.Node, reason string) {

@@ -1,0 +1,398 @@
+// Shard-parallel HyPE. In the downward Xreg fragment sibling subtrees are
+// independent: the NFA only consumes child steps and filter AFAs only walk
+// downwards, so once the states and AFA seed sets a child starts from are
+// known, its entire visit depends on nothing outside its subtree. That
+// makes the single-pass algorithm of §6 parallelizable without
+// approximation:
+//
+//  1. A sequential planner partially visits a small "spine" of nodes near
+//     the root, exactly the way visit() would (same pruning decisions, same
+//     vertex allocation), but instead of recursing it records each
+//     surviving element child as an independent shard task. When one shard
+//     holds most of the remaining work — the paper's hospital documents
+//     often hang everything below one or two departments — the planner
+//     expands that shard into a spine node of its own and re-shards its
+//     children, recursively, until no shard dominates.
+//  2. A bounded worker pool runs the shard visits on private Engine.Clone
+//     instances (shared immutable automaton metadata, private run state),
+//     honoring context cancellation.
+//  3. A sequential merge folds the shard results back in document order:
+//     shard vertex ids are offset into the global cans DAG, cans edges from
+//     spine vertices into shard roots are added, shard AFA truth vectors
+//     are OR-folded into the spine accumulators, and the spine's bottom-up
+//     AFA evaluations and guard kills run exactly where the sequential
+//     pass would have run them. Phase 2 then walks the merged DAG once.
+//
+// The result — answers, their order, and every Stats counter — is
+// identical to the sequential Eval by construction; only vertex numbering
+// (an internal detail) differs.
+package hype
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"smoqe/internal/xmltree"
+)
+
+// ParallelStats is a parallel run's Stats plus how the document was cut.
+type ParallelStats struct {
+	Stats
+	// Shards is the number of independent subtree tasks workers evaluated.
+	Shards int
+	// Workers is the number of worker goroutines actually used.
+	Workers int
+	// SpineNodes is the number of nodes the sequential planner visited
+	// itself (the root plus every dominating shard that was split).
+	SpineNodes int
+}
+
+// parallel-planner tuning knobs.
+const (
+	// maxShards caps how many tasks domination splitting may create.
+	maxShards = 256
+	// maxSplitRounds bounds the splitting loop (each round replaces one
+	// task by its children, so this also bounds spine depth).
+	maxSplitRounds = 64
+)
+
+// spineChild is one element child of a spine node after the partial visit:
+// either a shard task, a nested spine node (the shard dominated and was
+// split further), or pruned (both nil — already accounted in Stats).
+type spineChild struct {
+	node  *xmltree.Node
+	task  *shardTask
+	spine *spineNode
+}
+
+// spineNode is a node the planner visits sequentially. Its vertices live in
+// the planner run's (global) numbering; its bottom-up half — AFA evaluation
+// and guard kills — runs during the merge, after every child below it has
+// been folded.
+type spineNode struct {
+	node     *xmltree.Node
+	rel      []nfaSet    // closed AFA seed sets at node (nil per inactive AFA)
+	res      visitResult // vertices in the planner's global numbering
+	transAcc [][]bool    // bottom-up accumulators, filled by the merge
+	kids     []spineChild
+}
+
+// shardTask is one independent subtree evaluation: the child node and the
+// exact state sets a sequential visit would have entered it with.
+type shardTask struct {
+	node   *xmltree.Node
+	cms    nfaSet
+	cseeds []nfaSet
+	size   int // subtree element count, for the domination heuristic
+
+	parent *spineNode
+	slot   int // index in parent.kids
+
+	out shardOut
+}
+
+// shardOut is what a worker hands back: the shard's private cans DAG (local
+// vertex numbering starting at 0), its root visitResult and run statistics.
+type shardOut struct {
+	numVerts  int
+	edges     []edgePair
+	dead      []bool
+	cands     []cand
+	res       visitResult
+	stats     Stats
+	cancelled bool
+}
+
+// EvalParallel evaluates like Eval but fans independent subtrees out to a
+// bounded pool of workers (workers <= 0 means GOMAXPROCS). The answers and
+// statistics are exactly those of the sequential pass. The engine itself
+// acts as the sequential planner, so — like Eval — EvalParallel must not be
+// called concurrently on one Engine; workers run on private clones.
+func (e *Engine) EvalParallel(ctx context.Context, root *xmltree.Node, workers int) ([]*xmltree.Node, ParallelStats, error) {
+	hits, pst, err := e.runParallel(ctx, root, workers)
+	if err != nil {
+		return nil, pst, err
+	}
+	return candNodes(hits), pst, nil
+}
+
+// EvalTaggedParallel is EvalParallel for batch automata (see mfa.Merge):
+// one sharded pass answers every merged machine, indexed by tag.
+func (e *Engine) EvalTaggedParallel(ctx context.Context, root *xmltree.Node, workers int) ([][]*xmltree.Node, ParallelStats, error) {
+	hits, pst, err := e.runParallel(ctx, root, workers)
+	if err != nil {
+		return nil, pst, err
+	}
+	return taggedNodes(e.m.NumTags(), hits), pst, nil
+}
+
+func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers int) ([]cand, ParallelStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Plan: partially visit the root, then split dominating shards.
+	r0 := &run{Engine: e}
+	ms := r0.getNFASet()
+	ms.set(e.m.Start)
+	r0.closeNFA(ms)
+	seeds := r0.guardSeeds(ms)
+
+	var tasks []*shardTask
+	rootSpine := r0.expandSpine(root, ms, seeds, &tasks)
+	spines := []*spineNode{rootSpine}
+
+	for rounds := 0; rounds < maxSplitRounds && len(tasks) > 0 && len(tasks) < maxShards; rounds++ {
+		total, big := 0, 0
+		for i, t := range tasks {
+			total += t.size
+			if t.size > tasks[big].size {
+				big = i
+			}
+		}
+		// Split while one shard holds over half the remaining work (a
+		// single shard always dominates). Splitting a leaf just moves it
+		// onto the spine, which is how chains bottom out.
+		if len(tasks) >= 2 && tasks[big].size*2 <= total {
+			break
+		}
+		t := tasks[big]
+		tasks = append(tasks[:big], tasks[big+1:]...)
+		sp := r0.expandSpine(t.node, t.cms, t.cseeds, &tasks)
+		t.parent.kids[t.slot] = spineChild{node: t.node, spine: sp}
+		spines = append(spines, sp)
+	}
+
+	pst := ParallelStats{Shards: len(tasks), SpineNodes: len(spines)}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, pst, ctx.Err()
+	}
+
+	// Execute the shards on a bounded pool of engine clones.
+	nw := workers
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	if nw > 0 {
+		ch := make(chan *shardTask)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wr := &run{Engine: e.Clone(), ctx: ctx}
+				for t := range ch {
+					if wr.cancelled || (ctx != nil && ctx.Err() != nil) {
+						t.out.cancelled = true
+						continue
+					}
+					t.out.res = wr.visit(t.node, t.cms, t.cseeds)
+					t.out.numVerts = wr.numVerts
+					t.out.edges = wr.edgeList
+					t.out.dead = wr.dead
+					t.out.cands = wr.cands
+					t.out.stats = wr.stats
+					t.out.cancelled = wr.cancelled
+					// Reset per-shard state; the buffer pools stay (the
+					// handed-out result slices are never re-pooled).
+					wr.numVerts, wr.edgeList, wr.dead, wr.cands = 0, nil, nil, nil
+					wr.stats = Stats{}
+				}
+			}()
+		}
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+		wg.Wait()
+	}
+	pst.Workers = nw
+	for _, t := range tasks {
+		if t.out.cancelled {
+			return nil, pst, ctx.Err()
+		}
+	}
+
+	// Presize the merged DAG: one growth step instead of log-many
+	// reallocations while folding shard edge lists in.
+	extraV, extraE, extraC := 0, 0, 0
+	for _, t := range tasks {
+		extraV += t.out.numVerts
+		extraE += len(t.out.edges)
+		extraC += len(t.out.cands)
+	}
+	r0.dead = growBools(r0.dead, extraV)
+	r0.edgeList = growEdges(r0.edgeList, extraE)
+	r0.cands = growCands(r0.cands, extraC)
+
+	// Merge bottom-up: spines in reverse creation order puts every spine
+	// child before its parent, so a parent folds fully-evaluated children.
+	for i := len(spines) - 1; i >= 0; i-- {
+		sp := spines[i]
+		for _, kc := range sp.kids {
+			switch {
+			case kc.task != nil:
+				out := &kc.task.out
+				off := int32(r0.numVerts)
+				r0.numVerts += out.numVerts
+				r0.dead = append(r0.dead, out.dead...)
+				for _, ep := range out.edges {
+					r0.edgeList = append(r0.edgeList, edgePair{ep.from + off, ep.to + off})
+				}
+				for _, c := range out.cands {
+					c.vid += off
+					r0.cands = append(r0.cands, c)
+				}
+				r0.linkChild(&sp.res, kc.node.Label, out.res.states, off+out.res.base)
+				r0.foldChildAFA(sp.rel, sp.transAcc, kc.node.Label, out.res.afaVals)
+				// The shard's private DAG is folded in; drop it now so the
+				// GC reclaims it before the rest of the merge runs.
+				kc.task.out = shardOut{stats: out.stats}
+			case kc.spine != nil:
+				r0.linkChild(&sp.res, kc.node.Label, kc.spine.res.states, kc.spine.res.base)
+				r0.foldChildAFA(sp.rel, sp.transAcc, kc.node.Label, kc.spine.res.afaVals)
+			}
+		}
+		// Bottom-up AFA evaluation and guard kills at the spine node —
+		// the second half of visit(), run in merge order.
+		anyAFA := false
+		for g := range sp.rel {
+			if sp.rel[g] != nil {
+				anyAFA = true
+				break
+			}
+		}
+		if anyAFA {
+			sp.res.afaVals = r0.getVecB()
+			for g := range sp.rel {
+				if sp.rel[g] == nil {
+					continue
+				}
+				r0.stats.AFAEvaluations++
+				sp.res.afaVals[g] = r0.m.AFAs[g].EvalAtMasked(sp.node, sp.transAcc[g], r0.getBools(g), sp.rel[g])
+			}
+		}
+		r0.killGuardFailed(sp.node, &sp.res)
+	}
+
+	// Phase 2 over the merged DAG, then the merged statistics.
+	hits := r0.liveCands(rootSpine.res)
+	st := r0.stats
+	for _, t := range tasks {
+		addStats(&st, t.out.stats)
+	}
+	st.CansVertices = r0.numVerts
+	st.CansEdges = len(r0.edgeList)
+	e.stats = st
+	pst.Stats = st
+	return hits, pst, nil
+}
+
+// expandSpine partially visits node n the way visit() would — same stats,
+// same vertex allocation, same per-child pruning — but instead of recursing
+// it records every surviving element child as a shard task appended to
+// tasks. The bottom-up half of the visit runs later, during the merge.
+func (r *run) expandSpine(n *xmltree.Node, ms nfaSet, fseeds []nfaSet, tasks *[]*shardTask) *spineNode {
+	r.stats.VisitedElements++
+	rel := fseeds
+	anyAFA := false
+	for g := range rel {
+		if rel[g] != nil {
+			r.closeAFA(g, rel[g])
+			anyAFA = true
+		}
+	}
+	sp := &spineNode{node: n, rel: rel}
+	sp.res = r.openNode(n, ms)
+	if anyAFA {
+		sp.transAcc = r.getVecB()
+		for g := range rel {
+			if rel[g] != nil {
+				sp.transAcc[g] = r.getBoolsCleared(g)
+			}
+		}
+	}
+	hasTrans := false
+	ms.forEach(func(s int) {
+		if len(r.m.States[s].Trans) > 0 {
+			hasTrans = true
+		}
+	})
+	if hasTrans || anyAFA {
+		for _, c := range n.Children {
+			if c.Kind != xmltree.Element {
+				continue
+			}
+			cms, cseeds, ok := r.childStates(c, ms, rel)
+			if !ok {
+				continue // pruned, already accounted
+			}
+			t := &shardTask{
+				node:   c,
+				cms:    cms,
+				cseeds: cseeds,
+				size:   r.subtreeSize(c),
+				parent: sp,
+				slot:   len(sp.kids),
+			}
+			sp.kids = append(sp.kids, spineChild{node: c, task: t})
+			*tasks = append(*tasks, t)
+		}
+	}
+	return sp
+}
+
+// subtreeSize returns a work estimate for c's subtree, used only to
+// balance shards (never for correctness): the index's exact element count
+// when present, the document-order ID span otherwise. IDs are dense
+// preorder, so the subtree occupies exactly [c.ID, rightmost descendant],
+// making the span an exact node count obtained in O(depth) — no walk.
+func (r *run) subtreeSize(c *xmltree.Node) int {
+	if r.idx != nil {
+		return r.idx.SubtreeSize(c)
+	}
+	last := c
+	for len(last.Children) > 0 {
+		last = last.Children[len(last.Children)-1]
+	}
+	return last.ID + 1 - c.ID
+}
+
+// growBools/growEdges/growCands ensure capacity for extra more entries.
+func growBools(s []bool, extra int) []bool {
+	if cap(s)-len(s) >= extra {
+		return s
+	}
+	ns := make([]bool, len(s), len(s)+extra)
+	copy(ns, s)
+	return ns
+}
+
+func growEdges(s []edgePair, extra int) []edgePair {
+	if cap(s)-len(s) >= extra {
+		return s
+	}
+	ns := make([]edgePair, len(s), len(s)+extra)
+	copy(ns, s)
+	return ns
+}
+
+func growCands(s []cand, extra int) []cand {
+	if cap(s)-len(s) >= extra {
+		return s
+	}
+	ns := make([]cand, len(s), len(s)+extra)
+	copy(ns, s)
+	return ns
+}
+
+// addStats sums a shard's per-run counters into the merged statistics.
+// CansVertices/CansEdges are excluded: they are set once from the merged
+// DAG (shard runs never fill them; only run() does).
+func addStats(dst *Stats, s Stats) {
+	dst.VisitedElements += s.VisitedElements
+	dst.SkippedSubtrees += s.SkippedSubtrees
+	dst.SkippedElements += s.SkippedElements
+	dst.AFAEvaluations += s.AFAEvaluations
+}

@@ -1,6 +1,10 @@
 package hype
 
-import "smoqe/internal/xmltree"
+import (
+	"context"
+
+	"smoqe/internal/xmltree"
+)
 
 // TraceKind classifies one recorded decision of a traced HyPE run.
 type TraceKind string
@@ -72,10 +76,21 @@ func (t *Trace) add(n *xmltree.Node, kind TraceKind, detail string) {
 // (DefaultTraceLimit if limit <= 0). Tracing changes only the run's cost
 // (path rendering per event), never its answers.
 func (e *Engine) EvalTraced(ctx *xmltree.Node, limit int) ([]*xmltree.Node, Stats, *Trace) {
+	nodes, st, tr, _ := e.EvalTracedCtx(nil, ctx, limit)
+	return nodes, st, tr
+}
+
+// EvalTracedCtx is EvalTraced honoring context cancellation: once cctx is
+// done the DFS aborts promptly, returning cctx's error, the partial
+// statistics and the trace recorded so far.
+func (e *Engine) EvalTracedCtx(cctx context.Context, ctx *xmltree.Node, limit int) ([]*xmltree.Node, Stats, *Trace, error) {
 	if limit <= 0 {
 		limit = DefaultTraceLimit
 	}
 	tr := &Trace{Limit: limit}
-	hits, st := e.run(ctx, tr)
-	return candNodes(hits), st, tr
+	hits, st, err := e.run(cctx, ctx, tr)
+	if err != nil {
+		return nil, st, tr, err
+	}
+	return candNodes(hits), st, tr, nil
 }

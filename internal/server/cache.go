@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"smoqe"
@@ -82,7 +83,9 @@ func NewPlanCache(capacity int) *PlanCache {
 // GetOrBuild returns the plan cached under key, building it with build on
 // a miss. The second result reports whether the plan came from the cache
 // (true) or was built by this or a concurrent call (false). Build errors
-// are not cached: a later request retries.
+// are not cached: a later request retries. A build that panics is reported
+// as a build error (to this caller and every waiter alike) rather than
+// left as a permanently hung in-flight slot.
 func (c *PlanCache) GetOrBuild(key PlanKey, build func() (*smoqe.PreparedQuery, error)) (*smoqe.PreparedQuery, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -103,16 +106,28 @@ func (c *PlanCache) GetOrBuild(key PlanKey, build func() (*smoqe.PreparedQuery, 
 	c.building[key] = call
 	c.mu.Unlock()
 
-	call.plan, call.err = build()
-	close(call.done)
-
-	c.mu.Lock()
-	delete(c.building, key)
-	if call.err == nil {
-		c.insert(key, call.plan)
-	}
-	c.mu.Unlock()
+	c.runBuild(key, call, build)
 	return call.plan, false, call.err
+}
+
+// runBuild executes one single-flight build. The cleanup is deferred so it
+// runs even when build panics: waiters are released (with an error, never
+// a nil plan), the in-flight slot is freed so later requests retry, and
+// only successful plans enter the cache.
+func (c *PlanCache) runBuild(key PlanKey, call *buildCall, build func() (*smoqe.PreparedQuery, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			call.plan, call.err = nil, fmt.Errorf("server: plan build panicked: %v", r)
+		}
+		close(call.done)
+		c.mu.Lock()
+		delete(c.building, key)
+		if call.err == nil {
+			c.insert(key, call.plan)
+		}
+		c.mu.Unlock()
+	}()
+	call.plan, call.err = build()
 }
 
 // insert adds the plan under key and evicts the least recently used entry

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"smoqe"
 )
@@ -121,5 +122,87 @@ func TestPlanCacheRemoveView(t *testing.T) {
 	}
 	if _, hit, _ := c.GetOrBuild(mk("", "a"), func() (*smoqe.PreparedQuery, error) { return smoqe.PrepareString("a") }); !hit {
 		t.Error("viewless plan should have survived")
+	}
+}
+
+// TestPlanCacheFirstBuildFailsSecondSucceeds: a failed build must neither
+// be cached as a negative entry nor block the retry that succeeds.
+func TestPlanCacheFirstBuildFailsSecondSucceeds(t *testing.T) {
+	c := NewPlanCache(4)
+	key := PlanKey{Query: "department/patient", Engine: EngineHyPE}
+	calls := 0
+	build := func() (*smoqe.PreparedQuery, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return smoqe.PrepareString("department/patient")
+	}
+	if _, _, err := c.GetOrBuild(key, build); err == nil {
+		t.Fatal("first build should have failed")
+	}
+	plan, hit, err := c.GetOrBuild(key, build)
+	if err != nil || plan == nil {
+		t.Fatalf("second build: plan=%v err=%v", plan, err)
+	}
+	if hit {
+		t.Error("second call reported a cache hit; the failure must not have been cached")
+	}
+	if plan2, hit, err := c.GetOrBuild(key, build); err != nil || !hit || plan2 != plan {
+		t.Errorf("third call: hit=%v err=%v same=%v, want cached success", hit, err, plan2 == plan)
+	}
+	if calls != 2 {
+		t.Errorf("build called %d times, want 2", calls)
+	}
+}
+
+// TestPlanCacheBuildPanicReleasesWaiters: a panicking build must not hang
+// concurrent waiters on the in-flight slot nor leak it — both the builder
+// and every waiter get an error, and the next request retries cleanly.
+func TestPlanCacheBuildPanicReleasesWaiters(t *testing.T) {
+	c := NewPlanCache(4)
+	key := PlanKey{Query: "q", Engine: EngineHyPE}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	panicking := func() (*smoqe.PreparedQuery, error) {
+		close(entered)
+		<-release
+		panic("builder exploded")
+	}
+
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBuild(key, panicking)
+		builderErr <- err
+	}()
+	<-entered
+	waiterErr := make(chan error, 1)
+	go func() {
+		// This call joins the in-flight build and must not hang forever.
+		_, _, err := c.GetOrBuild(key, panicking)
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the slot
+	close(release)
+
+	for name, ch := range map[string]chan error{"builder": builderErr, "waiter": waiterErr} {
+		select {
+		case err := <-ch:
+			if err == nil {
+				t.Errorf("%s: want an error from the panicked build", name)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s hung: the panicked build leaked its in-flight slot", name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("panicked build occupies a cache slot, len=%d", c.Len())
+	}
+	// The slot is free again: a well-behaved build succeeds.
+	plan, _, err := c.GetOrBuild(key, func() (*smoqe.PreparedQuery, error) {
+		return smoqe.PrepareString("department/patient")
+	})
+	if err != nil || plan == nil {
+		t.Fatalf("rebuild after panic: plan=%v err=%v", plan, err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -64,10 +65,14 @@ type slowResponse struct {
 }
 
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	// Entries and total come from one critical section so the payload is
+	// internally consistent under concurrent writers (total - len(entries)
+	// = overwritten entries, exactly).
+	entries, total := s.slow.SnapshotWithTotal()
 	writeJSON(w, http.StatusOK, slowResponse{
 		ThresholdMicros: s.slow.Threshold().Microseconds(),
-		Total:           s.slow.Total(),
-		Entries:         s.slow.Snapshot(),
+		Total:           total,
+		Entries:         entries,
 	})
 }
 
@@ -89,6 +94,16 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	return srv.Shutdown(shutdownCtx)
+}
+
+// retryAfter suggests how long a shed client should back off: the queue
+// deadline rounded up to whole seconds (Retry-After carries integers).
+func (s *Server) retryAfter() string {
+	secs := int64((s.cfg.QueueWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -122,6 +137,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", s.retryAfter())
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			status = http.StatusGatewayTimeout
 		case strings.Contains(err.Error(), "not registered"):

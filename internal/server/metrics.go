@@ -22,6 +22,15 @@ type metrics struct {
 	skippedEle  *telemetry.Counter
 	afaEvals    *telemetry.Counter
 	slowQueries *telemetry.Counter
+	// Backpressure and parallelism (PR 3): shed counts 429s from
+	// admission control, cancelled counts evaluations aborted by context
+	// cancellation, queueWait observes time spent waiting for an
+	// evaluation slot, parallelEvals/shards account shard-parallel runs.
+	shed          *telemetry.Counter
+	cancelled     *telemetry.Counter
+	parallelEvals *telemetry.Counter
+	shards        *telemetry.Counter
+	queueWait     *telemetry.Histogram
 }
 
 func newMetrics(s *Server) *metrics {
@@ -46,6 +55,17 @@ func newMetrics(s *Server) *metrics {
 			"Per-node AFA evaluations performed.", nil),
 		slowQueries: reg.Counter("smoqe_slow_queries_total",
 			"Queries at or above the slow-query threshold.", nil),
+		shed: reg.Counter("smoqe_shed_total",
+			"Requests rejected by admission control (HTTP 429).", nil),
+		cancelled: reg.Counter("smoqe_cancelled_total",
+			"Evaluations aborted by context cancellation or timeout.", nil),
+		parallelEvals: reg.Counter("smoqe_parallel_evaluations_total",
+			"Evaluations that ran on the shard-parallel path.", nil),
+		shards: reg.Counter("smoqe_shards_total",
+			"Document shards evaluated by parallel runs.", nil),
+		queueWait: reg.Histogram("smoqe_queue_wait_seconds",
+			"Time requests spent waiting for an evaluation slot.",
+			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}, nil),
 	}
 	reg.GaugeFunc("smoqe_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -59,6 +79,10 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.cache.Stats().Capacity) })
 	reg.GaugeFunc("smoqe_plan_cache_evictions", "Plans evicted from the cache.", nil,
 		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.GaugeFunc("smoqe_inflight_evaluations", "Evaluations currently holding an admission slot.", nil,
+		func() float64 { return float64(len(s.sem)) })
+	reg.GaugeFunc("smoqe_max_concurrent_evaluations", "Admission-control slot capacity (0 = unbounded).", nil,
+		func() float64 { return float64(cap(s.sem)) })
 	return m
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -33,6 +34,19 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// handler. Off by default: profiles expose internals and cost CPU.
 	EnablePprof bool
+	// MaxParallelism caps the shard-parallel workers one evaluation may
+	// use (see QueryRequest.Parallelism). 0 disables parallel evaluation;
+	// negative means GOMAXPROCS.
+	MaxParallelism int
+	// MaxConcurrentEvals bounds how many evaluations run at once
+	// (admission control). 0 disables the bound; requests beyond the limit
+	// queue up to QueueWait and are then shed with ErrOverloaded (HTTP
+	// 429 + Retry-After).
+	MaxConcurrentEvals int
+	// QueueWait is how long an arriving request may wait for an
+	// evaluation slot before being shed (default 100ms when
+	// MaxConcurrentEvals is set).
+	QueueWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -54,8 +68,19 @@ func (c Config) withDefaults() Config {
 	if c.TraceLimit == 0 {
 		c.TraceLimit = hype.DefaultTraceLimit
 	}
+	if c.MaxParallelism < 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrentEvals > 0 && c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
 	return c
 }
+
+// ErrOverloaded is returned when admission control sheds a request: every
+// evaluation slot stayed busy for the full queue-wait deadline. The HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After header.
+var ErrOverloaded = errors.New("server: overloaded, retry later")
 
 // Server answers regular XPath queries over registered documents and
 // views. It is safe for concurrent use: the registry copy-on-registers,
@@ -68,6 +93,9 @@ type Server struct {
 	start time.Time
 	met   *metrics
 	slow  *SlowLog
+	// sem is the admission-control semaphore (nil when unbounded): one
+	// slot per concurrently running evaluation.
+	sem chan struct{}
 }
 
 // New returns a server with an empty registry.
@@ -79,6 +107,9 @@ func New(cfg Config) *Server {
 		cache: NewPlanCache(cfg.CacheSize),
 		start: time.Now(),
 		slow:  NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
+	}
+	if cfg.MaxConcurrentEvals > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrentEvals)
 	}
 	s.met = newMetrics(s)
 	return s
@@ -132,6 +163,12 @@ type QueryRequest struct {
 	// Explain asks for the plan's Theorem 5.1 size accounting, phase
 	// timings and a capped per-node evaluation trace in the response.
 	Explain bool `json:"explain,omitempty"`
+	// Parallelism asks for shard-parallel evaluation with up to this many
+	// workers, capped by the server's MaxParallelism. 0 or 1 evaluates
+	// sequentially; negative uses the server's cap itself. Ignored (the
+	// request stays sequential) when the server disables parallelism or
+	// the request asks for a trace.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // QueryExplain is the EXPLAIN payload of a response: what the plan looks
@@ -163,6 +200,10 @@ type QueryResponse struct {
 	Skipped         int `json:"skipped_subtrees"`
 	SkippedElements int `json:"skipped_elements,omitempty"`
 	AFAEvals        int `json:"afa_evaluations"`
+	// Shards/Workers report how a shard-parallel evaluation cut the
+	// document; both are zero for sequential runs.
+	Shards  int `json:"shards,omitempty"`
+	Workers int `json:"workers,omitempty"`
 	// Explain is present when the request set "explain": true.
 	Explain *QueryExplain `json:"explain,omitempty"`
 }
@@ -231,8 +272,14 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		defer cancel()
 	}
 
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+	}
+	defer release()
+
 	start := time.Now()
-	res, err := s.evaluate(ctx, plan, doc, engine, req.Explain)
+	res, err := s.evaluate(ctx, plan, doc, engine, req.Explain, s.workersFor(req.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +296,12 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		Skipped:         res.stats.SkippedSubtrees,
 		SkippedElements: res.stats.SkippedElements,
 		AFAEvals:        res.stats.AFAEvaluations,
+		Shards:          res.shards,
+		Workers:         res.workers,
+	}
+	if res.shards > 0 {
+		s.met.parallelEvals.Inc()
+		s.met.shards.Add(int64(res.shards))
 	}
 	s.met.visited.Add(int64(resp.Visited))
 	s.met.skippedSub.Add(int64(resp.Skipped))
@@ -293,47 +346,98 @@ func (s *Server) explain(req QueryRequest, view *ViewEntry, plan *smoqe.Prepared
 	}
 }
 
-// evalResult is one evaluation's outcome: the answers plus exactly this
-// run's statistics (and trace, when requested).
-type evalResult struct {
-	nodes []*smoqe.Node
-	stats smoqe.EngineStats
-	trace *smoqe.Trace
-}
-
-// evaluate runs the plan against the document, abandoning the wait (not
-// the work — HyPE has no preemption points) if ctx expires first. The
-// goroutine finishes on its own and returns its pooled engine.
-func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool) (evalResult, error) {
-	if err := ctx.Err(); err != nil {
-		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+// admit acquires an evaluation slot (a no-op when admission control is
+// off). A request that finds every slot busy queues up to QueueWait and is
+// then shed with ErrOverloaded — bounded latency instead of unbounded
+// goroutine pile-up. The returned release must be called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.sem == nil {
+		return func() {}, nil
 	}
-	if ctx.Done() == nil {
-		return s.run(plan, doc, engine, traced), nil
-	}
-	ch := make(chan evalResult, 1)
-	go func() { ch <- s.run(plan, doc, engine, traced) }()
+	release = func() { <-s.sem }
 	select {
-	case res := <-ch:
-		return res, nil
+	case s.sem <- struct{}{}: // fast path: a slot is free
+		s.met.queueWait.Observe(0)
+		return release, nil
+	default:
+	}
+	start := time.Now()
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.met.queueWait.Observe(time.Since(start).Seconds())
+		return release, nil
+	case <-timer.C:
+		s.met.shed.Inc()
+		return nil, ErrOverloaded
 	case <-ctx.Done():
-		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, ctx.Err())
+		s.met.cancelled.Inc()
+		return nil, ctx.Err()
 	}
 }
 
-func (s *Server) run(plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool) evalResult {
-	var res evalResult
+// workersFor clamps a request's parallelism ask against the server cap:
+// the effective shard-parallel worker count, or 0 for sequential.
+func (s *Server) workersFor(ask int) int {
+	cap := s.cfg.MaxParallelism
+	if cap <= 0 || ask == 0 || ask == 1 {
+		return 0
+	}
+	if ask < 0 || ask > cap {
+		return cap
+	}
+	return ask
+}
+
+// evalResult is one evaluation's outcome: the answers plus exactly this
+// run's statistics (and trace, when requested; and shard accounting, when
+// parallel).
+type evalResult struct {
+	nodes   []*smoqe.Node
+	stats   smoqe.EngineStats
+	trace   *smoqe.Trace
+	shards  int
+	workers int
+}
+
+// evaluate runs the plan against the document synchronously, honoring ctx:
+// the engine polls the context and aborts the DFS promptly when the client
+// disconnects or the request timeout fires, so cancelled requests stop
+// burning CPU (recorded in smoqe_cancelled_total). Traced (EXPLAIN) runs
+// stay sequential — a trace is a single decision log; workers > 1 fans
+// independent subtrees out to a bounded shard pool.
+func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool, workers int) (evalResult, error) {
+	var (
+		res evalResult
+		err error
+	)
 	switch {
 	case engine == EngineOptHyPE && traced:
-		res.nodes, res.stats, res.trace = plan.EvalIndexedTraced(doc.Doc.Root, doc.Index(), s.cfg.TraceLimit)
-	case engine == EngineOptHyPE:
-		res.nodes, res.stats = plan.EvalIndexedWithStats(doc.Doc.Root, doc.Index())
+		res.nodes, res.stats, res.trace, err = plan.EvalIndexedTracedCtx(ctx, doc.Doc.Root, doc.Index(), s.cfg.TraceLimit)
 	case traced:
-		res.nodes, res.stats, res.trace = plan.EvalTraced(doc.Doc.Root, s.cfg.TraceLimit)
+		res.nodes, res.stats, res.trace, err = plan.EvalTracedCtx(ctx, doc.Doc.Root, s.cfg.TraceLimit)
+	case workers > 1:
+		var pst smoqe.ParallelStats
+		if engine == EngineOptHyPE {
+			res.nodes, pst, err = plan.EvalIndexedParallelCtx(ctx, doc.Doc.Root, doc.Index(), workers)
+		} else {
+			res.nodes, pst, err = plan.EvalParallelCtx(ctx, doc.Doc.Root, workers)
+		}
+		res.stats = pst.Stats
+		res.shards, res.workers = pst.Shards, pst.Workers
+	case engine == EngineOptHyPE:
+		res.nodes, res.stats, err = plan.EvalIndexedCtx(ctx, doc.Doc.Root, doc.Index())
 	default:
-		res.nodes, res.stats = plan.EvalWithStats(doc.Doc.Root)
+		res.nodes, res.stats, err = plan.EvalCtx(ctx, doc.Doc.Root)
 	}
-	return res
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Inc()
+		}
+		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+	}
+	return res, nil
 }
 
 // Stats is the server-wide statistics snapshot served at /stats.
@@ -353,6 +457,11 @@ type Stats struct {
 	SkippedElements int64 `json:"skipped_elements"`
 	AFAEvaluations  int64 `json:"afa_evaluations"`
 	SlowQueries     int64 `json:"slow_queries"`
+	// Shed counts requests rejected by admission control (HTTP 429);
+	// Cancelled counts evaluations aborted by context cancellation or the
+	// request timeout.
+	Shed      int64 `json:"shed"`
+	Cancelled int64 `json:"cancelled"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -369,6 +478,8 @@ func (s *Server) Stats() Stats {
 		SkippedElements: s.met.skippedEle.Value(),
 		AFAEvaluations:  s.met.afaEvals.Value(),
 		SlowQueries:     s.met.slowQueries.Value(),
+		Shed:            s.met.shed.Value(),
+		Cancelled:       s.met.cancelled.Value(),
 	}
 }
 

@@ -23,13 +23,22 @@ type SlowQuery struct {
 // threshold. When full, a new entry overwrites the oldest — the log holds
 // the most recent slow queries, and Total keeps the lifetime count. Safe
 // for concurrent use.
+//
+// The ring is uniform: buf is allocated at full capacity up front, size
+// counts the occupied slots and next is the write position. The invariant
+// is simply buf[(next-size+i) mod cap] for i in [0,size) holds the
+// retained entries oldest-to-newest — the same arithmetic whether or not
+// the ring has wrapped, so wraparound needs no special case. (The previous
+// grow-as-you-go layout made `next` do double duty and needed a bounds
+// guard during the fill phase; it read like an off-by-one waiting to
+// happen even where it wasn't one.)
 type SlowLog struct {
 	mu        sync.Mutex
 	threshold time.Duration
-	entries   []SlowQuery // ring storage, len == used capacity
-	capacity  int
-	next      int   // ring write position
-	total     int64 // lifetime slow-query count
+	buf       []SlowQuery // len(buf) == capacity always
+	size      int         // occupied slots, <= len(buf)
+	next      int         // ring write position
+	total     int64       // lifetime slow-query count
 }
 
 // NewSlowLog returns a log keeping up to capacity entries (minimum 1) of
@@ -39,7 +48,7 @@ func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &SlowLog{threshold: threshold, capacity: capacity}
+	return &SlowLog{threshold: threshold, buf: make([]SlowQuery, capacity)}
 }
 
 // Threshold returns the configured slowness bound.
@@ -53,13 +62,11 @@ func (l *SlowLog) Record(e SlowQuery) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.total++
-	if len(l.entries) < l.capacity {
-		l.entries = append(l.entries, e)
-		l.next = len(l.entries) % l.capacity
-		return true
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.size < len(l.buf) {
+		l.size++
 	}
-	l.entries[l.next] = e
-	l.next = (l.next + 1) % l.capacity
 	return true
 }
 
@@ -73,17 +80,24 @@ func (l *SlowLog) Total() int64 {
 
 // Snapshot returns the retained entries, newest first.
 func (l *SlowLog) Snapshot() []SlowQuery {
+	entries, _ := l.SnapshotWithTotal()
+	return entries
+}
+
+// SnapshotWithTotal returns the retained entries (newest first) and the
+// lifetime total from one critical section, so the pair is consistent:
+// total - len(entries) is exactly the number of overwritten entries even
+// while writers are racing (separate Snapshot/Total calls could observe
+// writes in between).
+func (l *SlowLog) SnapshotWithTotal() ([]SlowQuery, int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]SlowQuery, 0, len(l.entries))
-	// Walk the ring backwards from the most recent write.
-	for i := 0; i < len(l.entries); i++ {
-		idx := (l.next - 1 - i + l.capacity*2) % l.capacity
-		if idx < len(l.entries) {
-			out = append(out, l.entries[idx])
-		}
+	out := make([]SlowQuery, l.size)
+	for i := 0; i < l.size; i++ {
+		// Newest first: walk backwards from the last write.
+		out[i] = l.buf[(l.next-1-i+len(l.buf))%len(l.buf)]
 	}
-	return out
+	return out, l.total
 }
 
 // slowEntry assembles a SlowQuery from one finished request.

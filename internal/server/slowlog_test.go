@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func slowQ(i int) SlowQuery {
+	return SlowQuery{Query: fmt.Sprintf("q%d", i), ElapsedMicros: int64(i)}
+}
+
+// TestSlowLogWraparoundOrder: the ring must retain exactly the newest
+// capacity entries, newest first, across several full wraps.
+func TestSlowLogWraparoundOrder(t *testing.T) {
+	const capacity = 4
+	l := NewSlowLog(capacity, 0)
+	for n := 1; n <= 3*capacity; n++ {
+		if !l.Record(slowQ(n)) {
+			t.Fatalf("entry %d not recorded", n)
+		}
+		entries, total := l.SnapshotWithTotal()
+		if total != int64(n) {
+			t.Fatalf("after %d writes: total = %d", n, total)
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(entries) != want {
+			t.Fatalf("after %d writes: %d entries, want %d", n, len(entries), want)
+		}
+		for i, e := range entries {
+			if e.Query != fmt.Sprintf("q%d", n-i) {
+				t.Fatalf("after %d writes: entries[%d] = %s, want q%d", n, i, e.Query, n-i)
+			}
+		}
+	}
+}
+
+// TestSlowLogConcurrentOverflow floods a tiny ring from many goroutines
+// (run under -race in CI): no write may be lost from the lifetime total,
+// and every snapshot taken during the storm must be internally consistent
+// — distinct entries, newest-first order by the writer's sequence.
+func TestSlowLogConcurrentOverflow(t *testing.T) {
+	const (
+		capacity  = 8
+		writers   = 8
+		perWriter = 500
+		snapshots = 200
+	)
+	l := NewSlowLog(capacity, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Record(SlowQuery{Query: fmt.Sprintf("w%d-%d", w, i), ElapsedMicros: 1})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < snapshots; i++ {
+		entries, total := l.SnapshotWithTotal()
+		if len(entries) > capacity {
+			t.Fatalf("snapshot has %d entries, capacity %d", len(entries), capacity)
+		}
+		if int64(len(entries)) > total {
+			t.Fatalf("snapshot has %d entries but total is only %d", len(entries), total)
+		}
+		seen := make(map[string]bool, len(entries))
+		for _, e := range entries {
+			if e.Query == "" {
+				t.Fatal("snapshot contains a zero entry (read past the occupied slots)")
+			}
+			if seen[e.Query] {
+				t.Fatalf("snapshot contains %s twice", e.Query)
+			}
+			seen[e.Query] = true
+		}
+		select {
+		case <-done:
+		default:
+		}
+	}
+	<-done
+	if got, want := l.Total(), int64(writers*perWriter); got != want {
+		t.Errorf("total = %d, want %d (writes lost)", got, want)
+	}
+	entries := l.Snapshot()
+	if len(entries) != capacity {
+		t.Errorf("final snapshot has %d entries, want full ring of %d", len(entries), capacity)
+	}
+}
+
+// TestSlowLogThreshold: entries strictly below the bound are dropped,
+// at-or-above are kept (the boundary is inclusive).
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(4, time.Millisecond)
+	if l.Record(SlowQuery{ElapsedMicros: 999}) {
+		t.Error("999us recorded against a 1ms threshold")
+	}
+	if !l.Record(SlowQuery{ElapsedMicros: 1000}) {
+		t.Error("1000us (exactly the threshold) not recorded; boundary must be inclusive")
+	}
+}

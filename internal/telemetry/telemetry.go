@@ -226,7 +226,10 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 
 // Histogram returns the histogram name{labels} with the given bucket
 // upper bounds (nil means DefBuckets), creating it on first use. Bounds
-// are sorted; an implicit +Inf bucket is always present.
+// are sorted, duplicates are collapsed, and NaN/±Inf entries are dropped;
+// an implicit +Inf bucket is always present. Each bound b is the upper
+// edge of a `le` (less-or-equal) bucket, so a sample exactly equal to b
+// lands in b's bucket, never the next one up.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -235,15 +238,36 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 		if buckets == nil {
 			buckets = DefBuckets
 		}
-		b := append([]float64(nil), buckets...)
-		sort.Float64s(b)
-		f.buckets = b
+		f.buckets = normalizeBounds(buckets)
 	}
 	s := f.instance(labels)
 	if s.h == nil {
 		s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
 	}
 	return s.h
+}
+
+// normalizeBounds sorts bucket upper bounds and removes entries that
+// would corrupt the series: duplicates (two buckets with the same `le`
+// label are invalid exposition), ±Inf (the +Inf bucket is implicit and
+// emitting it twice duplicates its series), and NaN (every comparison
+// against NaN is false, so Observe would misroute samples).
+func normalizeBounds(buckets []float64) []float64 {
+	b := make([]float64, 0, len(buckets))
+	for _, v := range buckets {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		b = append(b, v)
+	}
+	sort.Float64s(b)
+	out := b[:0]
+	for i, v := range b {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func cloneLabels(l Labels) Labels {

@@ -78,6 +78,88 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundary: Prometheus buckets are `le` —
+// less-OR-EQUAL — so a sample exactly on an upper bound must count
+// toward that bound's bucket, not the next one up. This pins the
+// non-cumulative per-bucket counts, where an off-by-one at the edge
+// would be visible before cumulation papers over it.
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := New()
+	bounds := []float64{0.001, 0.01, 0.1}
+	h := r.Histogram("lat", "", bounds, nil)
+	for _, v := range bounds {
+		h.Observe(v)
+	}
+	for i := range bounds {
+		if got := h.counts[i].Load(); got != 1 {
+			t.Errorf("bucket le=%v holds %d samples, want exactly 1 (le is inclusive)", bounds[i], got)
+		}
+	}
+	if got := h.counts[len(bounds)].Load(); got != 0 {
+		t.Errorf("+Inf bucket holds %d samples, want 0: no observation exceeded the largest bound", got)
+	}
+
+	// The same contract through the exposition: cumulative counts step by
+	// one at each bound because each sample joined its own bucket.
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_bucket{le="0.001"} 1`,
+		`lat_bucket{le="0.01"} 2`,
+		`lat_bucket{le="0.1"} 3`,
+		`lat_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out.String(), want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+
+	// Just past a bound belongs to the next bucket up.
+	h.Observe(math.Nextafter(0.01, 1))
+	if got := h.counts[2].Load(); got != 2 {
+		t.Errorf("sample just above 0.01 landed wrong: le=0.1 bucket = %d, want 2", got)
+	}
+}
+
+// TestHistogramBoundsNormalized: duplicate bounds would emit two series
+// with the same le label, and NaN/±Inf bounds would misroute samples or
+// duplicate the implicit +Inf bucket. Registration must scrub all three.
+func TestHistogramBoundsNormalized(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "", []float64{2, 1, 2, math.NaN(), math.Inf(1), 1, math.Inf(-1)}, nil)
+	if want := []float64{1, 2}; len(h.bounds) != len(want) || h.bounds[0] != want[0] || h.bounds[1] != want[1] {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for _, v := range []float64{0.5, 1, 2, 3} {
+		h.Observe(v)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Every le value appears exactly once: no duplicate series.
+	for _, le := range []string{`le="1"`, `le="2"`, `le="+Inf"`} {
+		if got := strings.Count(text, le); got != 1 {
+			t.Errorf("label %s appears %d times, want 1:\n%s", le, got, text)
+		}
+	}
+	if strings.Contains(text, "NaN") {
+		t.Errorf("NaN leaked into exposition:\n%s", text)
+	}
+}
+
 func TestLabelsSortedAndEscaped(t *testing.T) {
 	r := New()
 	r.Counter("m", "", Labels{"b": "2", "a": `x"y\z`}).Inc()

@@ -1,6 +1,7 @@
 package smoqe
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -244,6 +245,112 @@ func (p *PreparedQuery) EvalTaggedWithStats(ctx *Node) ([][]*Node, EngineStats) 
 	p.account(st)
 	p.pool.pool.Put(e)
 	return res, st
+}
+
+// EvalCtx is EvalWithStats honoring context cancellation: the DFS polls
+// ctx and aborts promptly (within a few hundred visited elements) once the
+// context is done, returning ctx's error and the partial statistics of the
+// aborted run. Cancelled runs are not counted in Stats(). Safe for
+// concurrent use.
+func (p *PreparedQuery) EvalCtx(ctx context.Context, n *Node) ([]*Node, EngineStats, error) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, err := e.EvalCtx(ctx, n)
+	if err == nil {
+		p.account(st)
+	}
+	p.pool.pool.Put(e)
+	return res, st, err
+}
+
+// EvalIndexedCtx is EvalIndexedWithStats honoring context cancellation
+// (see EvalCtx).
+func (p *PreparedQuery) EvalIndexedCtx(ctx context.Context, n *Node, idx *Index) ([]*Node, EngineStats, error) {
+	ep := p.indexPool(idx)
+	e := ep.pool.Get().(*Engine)
+	res, st, err := e.EvalCtx(ctx, n)
+	if err == nil {
+		p.account(st)
+	}
+	ep.pool.Put(e)
+	return res, st, err
+}
+
+// EvalTaggedCtx is EvalTaggedWithStats honoring context cancellation (see
+// EvalCtx).
+func (p *PreparedQuery) EvalTaggedCtx(ctx context.Context, n *Node) ([][]*Node, EngineStats, error) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, err := e.EvalTaggedCtx(ctx, n)
+	if err == nil {
+		p.account(st)
+	}
+	p.pool.pool.Put(e)
+	return res, st, err
+}
+
+// EvalTracedCtx is EvalTraced honoring context cancellation (see EvalCtx);
+// the partial trace of an aborted run is still returned.
+func (p *PreparedQuery) EvalTracedCtx(ctx context.Context, n *Node, limit int) ([]*Node, EngineStats, *Trace, error) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, tr, err := e.EvalTracedCtx(ctx, n, limit)
+	if err == nil {
+		p.account(st)
+	}
+	p.pool.pool.Put(e)
+	return res, st, tr, err
+}
+
+// EvalIndexedTracedCtx is EvalIndexedTraced honoring context cancellation
+// (see EvalCtx).
+func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *Index, limit int) ([]*Node, EngineStats, *Trace, error) {
+	ep := p.indexPool(idx)
+	e := ep.pool.Get().(*Engine)
+	res, st, tr, err := e.EvalTracedCtx(ctx, n, limit)
+	if err == nil {
+		p.account(st)
+	}
+	ep.pool.Put(e)
+	return res, st, tr, err
+}
+
+// EvalParallelCtx evaluates with shard-parallel HyPE: the document is cut
+// into independent subtrees fanned out to at most workers goroutines
+// (workers <= 0 means GOMAXPROCS), with answers and statistics exactly
+// those of the sequential pass (see hype.Engine.EvalParallel). The borrowed
+// engine acts as the sequential planner; its workers run on private
+// clones, so concurrent EvalParallelCtx calls are safe just like Eval.
+func (p *PreparedQuery) EvalParallelCtx(ctx context.Context, n *Node, workers int) ([]*Node, ParallelStats, error) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, err := e.EvalParallel(ctx, n, workers)
+	if err == nil {
+		p.account(st.Stats)
+	}
+	p.pool.pool.Put(e)
+	return res, st, err
+}
+
+// EvalIndexedParallelCtx is EvalParallelCtx with OptHyPE against idx; the
+// index additionally gives the shard planner exact subtree sizes.
+func (p *PreparedQuery) EvalIndexedParallelCtx(ctx context.Context, n *Node, idx *Index, workers int) ([]*Node, ParallelStats, error) {
+	ep := p.indexPool(idx)
+	e := ep.pool.Get().(*Engine)
+	res, st, err := e.EvalParallel(ctx, n, workers)
+	if err == nil {
+		p.account(st.Stats)
+	}
+	ep.pool.Put(e)
+	return res, st, err
+}
+
+// EvalTaggedParallelCtx is EvalParallelCtx for batch automata (see Merge):
+// one sharded pass answers every merged machine, indexed by tag.
+func (p *PreparedQuery) EvalTaggedParallelCtx(ctx context.Context, n *Node, workers int) ([][]*Node, ParallelStats, error) {
+	e := p.pool.pool.Get().(*Engine)
+	res, st, err := e.EvalTaggedParallel(ctx, n, workers)
+	if err == nil {
+		p.account(st.Stats)
+	}
+	p.pool.pool.Put(e)
+	return res, st, err
 }
 
 func (p *PreparedQuery) account(st EngineStats) {

@@ -1,6 +1,7 @@
 package smoqe_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -112,5 +113,112 @@ func TestPreparedOnView(t *testing.T) {
 	}
 	if got := p.Eval(doc.Root); fmt.Sprint(smoqe.IDsOf(got)) != fmt.Sprint(smoqe.IDsOf(want)) {
 		t.Errorf("prepared view answers differ: %v vs %v", smoqe.IDsOf(got), smoqe.IDsOf(want))
+	}
+}
+
+// TestPreparedParallelMatchesSequential: the facade's shard-parallel
+// entry points agree exactly with their sequential counterparts, both
+// plain and indexed, from many goroutines at once.
+func TestPreparedParallelMatchesSequential(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(600))
+	idx := smoqe.BuildIndex(doc, true)
+	for _, src := range []string{hospital.XPA, "//diagnosis", "department/patient[not(visit)]"} {
+		p, err := smoqe.PrepareString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantSt := p.EvalWithStats(doc.Root)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, pst, err := p.EvalParallelCtx(context.Background(), doc.Root, 4)
+				if err != nil {
+					t.Errorf("%s: parallel: %v", src, err)
+					return
+				}
+				if fmt.Sprint(smoqe.IDsOf(got)) != fmt.Sprint(smoqe.IDsOf(want)) {
+					t.Errorf("%s: parallel answers differ", src)
+				}
+				if pst.Stats != wantSt {
+					t.Errorf("%s: parallel stats %+v, sequential %+v", src, pst.Stats, wantSt)
+				}
+				igot, ipst, err := p.EvalIndexedParallelCtx(context.Background(), doc.Root, idx, 4)
+				if err != nil {
+					t.Errorf("%s: indexed parallel: %v", src, err)
+					return
+				}
+				if fmt.Sprint(smoqe.IDsOf(igot)) != fmt.Sprint(smoqe.IDsOf(want)) {
+					t.Errorf("%s: indexed parallel answers differ", src)
+				}
+				if ipst.SkippedElements < pst.SkippedElements {
+					t.Errorf("%s: indexed parallel skipped fewer elements (%d) than plain (%d)",
+						src, ipst.SkippedElements, pst.SkippedElements)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestPreparedEvalCtxCancelled: a cancelled context aborts evaluation with
+// an error and the run is not counted in the aggregate statistics.
+func TestPreparedEvalCtxCancelled(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(600))
+	p, err := smoqe.PrepareString("//diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.EvalCtx(ctx, doc.Root); err == nil {
+		t.Fatal("EvalCtx with cancelled context returned nil error")
+	}
+	if _, _, err := p.EvalParallelCtx(ctx, doc.Root, 4); err == nil {
+		t.Fatal("EvalParallelCtx with cancelled context returned nil error")
+	}
+	if st := p.Stats(); st.Evaluations != 0 {
+		t.Errorf("cancelled runs were counted: Evaluations = %d", st.Evaluations)
+	}
+	// And after cancellation the plan still works.
+	if nodes, _, err := p.EvalCtx(context.Background(), doc.Root); err != nil || len(nodes) == 0 {
+		t.Fatalf("plan unusable after cancelled run: %v (%d nodes)", err, len(nodes))
+	}
+}
+
+// TestPreparedTaggedParallel: batch evaluation through the facade, sharded.
+func TestPreparedTaggedParallel(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(600))
+	queries := []string{hospital.XPA, "//diagnosis", "department/patient[not(visit)]"}
+	var ms []*smoqe.MFA
+	for _, src := range queries {
+		q, err := smoqe.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := smoqe.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	merged, err := smoqe.Merge(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smoqe.PrepareMFA(merged)
+	want := p.EvalTagged(doc.Root)
+	got, _, err := p.EvalTaggedParallelCtx(context.Background(), doc.Root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(smoqe.IDsOf(got[i])) != fmt.Sprint(smoqe.IDsOf(want[i])) {
+			t.Errorf("bucket %d (%q): parallel differs", i, queries[i])
+		}
 	}
 }

@@ -98,6 +98,10 @@ type EngineStats = hype.Stats
 // Index is the subtree-label index behind OptHyPE and OptHyPE-C.
 type Index = hype.Index
 
+// ParallelStats is an EngineStats plus how a shard-parallel run cut the
+// document (see Engine.EvalParallel / PreparedQuery.EvalParallelCtx).
+type ParallelStats = hype.ParallelStats
+
 // Trace is the capped per-node decision log of a traced HyPE run — the
 // EXPLAIN mode of the engine (see PreparedQuery.EvalTraced).
 type Trace = hype.Trace
