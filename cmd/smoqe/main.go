@@ -117,9 +117,12 @@ func cmdEval(args []string) error {
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	showPaths := fs.Bool("paths", false, "print node paths instead of a count")
 	parallel := fs.Int("parallel", 0, "shard-parallel workers (automaton engines only; 0 = sequential, -1 = GOMAXPROCS)")
+	maxVisited := fs.Int("max-visited", 0, "abort after visiting this many elements (automaton engines only; 0 = unlimited)")
+	maxResults := fs.Int("max-results", 0, "abort after accumulating this many result candidates (automaton engines only; 0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	limits := smoqe.EvalLimits{MaxVisited: *maxVisited, MaxResultNodes: *maxResults}
 	if (*qsrc == "") == (*mfaPath == "") {
 		return fmt.Errorf("eval: exactly one of -query and -mfa is required")
 	}
@@ -170,6 +173,7 @@ func cmdEval(args []string) error {
 		case "opthype-c":
 			eng = smoqe.NewOptEngine(m, smoqe.BuildIndex(doc, true))
 		}
+		eng.SetLimits(limits)
 		if *parallel != 0 && *parallel != 1 {
 			var pst smoqe.ParallelStats
 			nodes, pst, err = eng.EvalParallel(context.Background(), doc.Root, *parallel)
@@ -179,6 +183,13 @@ func cmdEval(args []string) error {
 			if *stats {
 				fmt.Printf("parallel: %d shards on %d workers (%d spine nodes)\n",
 					pst.Shards, pst.Workers, pst.SpineNodes)
+			}
+		} else if limits != (smoqe.EvalLimits{}) {
+			// Budgets need the error-returning path: the legacy Eval form
+			// would silently return an empty answer for an aborted run.
+			nodes, _, err = eng.EvalCtx(context.Background(), doc.Root)
+			if err != nil {
+				return err
 			}
 		} else {
 			nodes = eng.Eval(doc.Root)
@@ -190,6 +201,9 @@ func cmdEval(args []string) error {
 		if *parallel != 0 && *parallel != 1 {
 			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
 		}
+		if limits != (smoqe.EvalLimits{}) {
+			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c)")
+		}
 		nodes = smoqe.EvalReference(q, doc.Root)
 	case "twopass":
 		if q == nil {
@@ -197,6 +211,9 @@ func cmdEval(args []string) error {
 		}
 		if *parallel != 0 && *parallel != 1 {
 			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
+		}
+		if limits != (smoqe.EvalLimits{}) {
+			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c)")
 		}
 		nodes, err = smoqe.EvalTwoPass(q, doc.Root)
 		if err != nil {

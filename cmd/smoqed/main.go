@@ -11,6 +11,14 @@
 //	       [-view name=spec.view,source.dtd,target.dtd ...]
 //	       [-sample] [-pprof] [-slow-threshold 250ms] [-slowlog 128]
 //	       [-parallelism 0] [-max-concurrent 4×GOMAXPROCS] [-queue-wait 100ms]
+//	       [-max-visited 0] [-max-results 0]
+//	       [-max-doc-depth 0] [-max-doc-nodes 0] [-max-doc-bytes 0] [-max-body 64MiB]
+//	       [-breaker-threshold 5] [-breaker-cooldown 5s]
+//	       [-read-timeout 30s] [-write-timeout timeout+30s] [-idle-timeout 2m]
+//
+// Fault injection for chaos testing (see docs/ROBUSTNESS.md):
+//
+//	SMOQE_FAILPOINTS=server.planbuild=error@0.1,hype.shard.worker=panic smoqed ...
 //
 // The API (see docs/SERVER.md and docs/OBSERVABILITY.md):
 //
@@ -30,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"smoqe"
+	"smoqe/internal/failpoint"
 	"smoqe/internal/hospital"
 	"smoqe/internal/server"
 )
@@ -48,6 +58,17 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "shard-parallel worker cap per evaluation (0 disables, -1 = GOMAXPROCS)")
 	maxConcurrent := flag.Int("max-concurrent", 4*runtime.GOMAXPROCS(0), "admission control: evaluations running at once (0 = unbounded)")
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for an evaluation slot before a 429")
+	maxVisited := flag.Int("max-visited", 0, "per-evaluation budget: element nodes visited (0 = unlimited, exceeded = 422)")
+	maxResults := flag.Int("max-results", 0, "per-evaluation budget: result candidates accumulated (0 = unlimited, exceeded = 422)")
+	maxDocDepth := flag.Int("max-doc-depth", 0, "registered-document limit: element nesting depth (0 = unlimited, exceeded = 413)")
+	maxDocNodes := flag.Int("max-doc-nodes", 0, "registered-document limit: total nodes (0 = unlimited, exceeded = 413)")
+	maxDocBytes := flag.Int64("max-doc-bytes", 0, "registered-document limit: raw XML bytes (0 = unlimited, exceeded = 413)")
+	maxBody := flag.Int64("max-body", 0, "HTTP request body cap in bytes (0 = 64 MiB default, negative = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive server faults that open a view's circuit breaker (0 = default 5, negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 5s)")
+	readTimeout := flag.Duration("read-timeout", 0, "HTTP read timeout (0 = default 30s, negative disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout (0 = default timeout+30s, negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP idle connection timeout (0 = default 2m, negative disables)")
 
 	var docFlags, viewFlags multiFlag
 	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
@@ -65,7 +86,21 @@ func main() {
 		MaxParallelism:     *parallelism,
 		MaxConcurrentEvals: *maxConcurrent,
 		QueueWait:          *queueWait,
+		EvalLimits:         smoqe.EvalLimits{MaxVisited: *maxVisited, MaxResultNodes: *maxResults},
+		ParseLimits:        smoqe.ParseLimits{MaxDepth: *maxDocDepth, MaxNodes: *maxDocNodes, MaxBytes: *maxDocBytes},
+		MaxBodyBytes:       *maxBody,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		ReadTimeout:        *readTimeout,
+		WriteTimeout:       *writeTimeout,
+		IdleTimeout:        *idleTimeout,
 	})
+
+	if sites, err := failpoint.ArmFromEnv(); err != nil {
+		log.Fatalf("smoqed: %s: %v", failpoint.EnvVar, err)
+	} else if len(sites) > 0 {
+		log.Printf("WARNING: failpoints armed (%s): %s", failpoint.EnvVar, strings.Join(failpoint.Armed(), " "))
+	}
 
 	if *sample {
 		if _, err := srv.Registry().RegisterDocument("hospital", hospital.SampleDocument()); err != nil {

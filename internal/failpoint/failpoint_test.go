@@ -1,0 +1,148 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	t.Cleanup(DisableAll)
+	DisableAll()
+	if err := Inject("any.site"); err != nil {
+		t.Fatalf("unarmed Inject: %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("s")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("Inject = %v, want *Error", err)
+	}
+	if fe.Site != "s" || fe.Mode != ModeError {
+		t.Errorf("error = %+v", fe)
+	}
+	if Hits("s") != 1 {
+		t.Errorf("hits = %d, want 1", Hits("s"))
+	}
+	// Other sites stay unaffected.
+	if err := Inject("other"); err != nil {
+		t.Errorf("unarmed site fired: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		fe, ok := r.(*Error)
+		if !ok || fe.Mode != ModePanic {
+			t.Errorf("recovered %v, want *Error in panic mode", r)
+		}
+	}()
+	_ = Inject("s")
+	t.Error("Inject did not panic")
+}
+
+func TestSleepMode(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "sleep:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("s"); err != nil {
+		t.Fatalf("sleep mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("slept %v, want >= 30ms", d)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "error@0.5"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Inject("s") != nil {
+			fired++
+		}
+	}
+	// P(outside [300, 700]) is astronomically small for p=0.5, n=1000.
+	if fired < 300 || fired > 700 {
+		t.Errorf("fired %d/1000 at p=0.5", fired)
+	}
+	if Hits("s") != int64(fired) {
+		t.Errorf("hits = %d, fired = %d", Hits("s"), fired)
+	}
+}
+
+func TestDisableAndArmedList(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("b", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("a", "sleep:1ms@0.25"); err != nil {
+		t.Fatal(err)
+	}
+	got := Armed()
+	if len(got) != 2 || got[0] != "a=sleep:1ms@0.25" || got[1] != "b=error" {
+		t.Errorf("Armed() = %v", got)
+	}
+	Disable("b")
+	if err := Inject("b"); err != nil {
+		t.Errorf("disabled site fired: %v", err)
+	}
+	if len(Armed()) != 1 {
+		t.Errorf("Armed() after Disable = %v", Armed())
+	}
+}
+
+func TestArmSpecAndEnv(t *testing.T) {
+	t.Cleanup(DisableAll)
+	sites, err := ArmSpec("x=error, y=panic@0.5; z=sleep:10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("armed %v", sites)
+	}
+	DisableAll()
+
+	t.Setenv(EnvVar, "x=error")
+	if sites, err = ArmFromEnv(); err != nil || len(sites) != 1 {
+		t.Fatalf("ArmFromEnv: %v %v", sites, err)
+	}
+	DisableAll()
+	t.Setenv(EnvVar, "")
+	if sites, err = ArmFromEnv(); err != nil || sites != nil {
+		t.Fatalf("empty env: %v %v", sites, err)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	t.Cleanup(DisableAll)
+	for _, spec := range []string{
+		"", "explode", "error:arg", "panic:arg", "sleep", "sleep:notadur",
+		"error@0", "error@1.5", "error@nope", "sleep:-5ms",
+	} {
+		if err := Enable("s", spec); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+		}
+	}
+	if _, err := ArmSpec("justasite"); err == nil {
+		t.Error("ArmSpec without '=' accepted")
+	}
+	if _, err := ArmSpec("s=badmode"); err == nil {
+		t.Error("ArmSpec with bad mode accepted")
+	}
+}

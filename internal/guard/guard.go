@@ -1,0 +1,49 @@
+// Package guard converts panics into typed errors with captured stacks —
+// the panic-isolation primitive of the serving stack. A panic in one
+// evaluation (a poisoned query, an injected fault) must fail that one
+// request, never the daemon: every evaluation boundary defers a recover and
+// turns what it catches into a *PanicError the HTTP layer maps to a 500 and
+// the telemetry layer counts per site.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic: where it was caught, what was thrown,
+// and the goroutine stack at the throw site.
+type PanicError struct {
+	// Site names the recovery boundary that caught the panic (e.g. "eval",
+	// "hype.shard.worker", "server.planbuild", "http").
+	Site string
+	// Value is the value the code panicked with.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic at %s: %v", e.Site, e.Value)
+}
+
+// Recovered wraps a recover() result into a *PanicError, capturing the
+// stack. A value that already is a *PanicError passes through unchanged
+// (nested recovery boundaries keep the innermost site).
+func Recovered(site string, v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Site: site, Value: v, Stack: debug.Stack()}
+}
+
+// Recover is the deferred form: it converts an in-flight panic into a
+// *PanicError assigned to *errp (overwriting any earlier error — the panic
+// is the more fundamental failure). Usage:
+//
+//	defer guard.Recover("site", &err)
+func Recover(site string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = Recovered(site, r)
+	}
+}

@@ -1,0 +1,56 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRecoveredCapturesValueAndStack(t *testing.T) {
+	pe := Recovered("site", "boom")
+	if pe.Site != "site" || pe.Value != "boom" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("stack not captured: %q", pe.Stack)
+	}
+	if got := pe.Error(); got != "panic at site: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestRecoveredPassesThroughNested(t *testing.T) {
+	inner := Recovered("inner", 42)
+	if outer := Recovered("outer", inner); outer != inner {
+		t.Errorf("nested recovery rewrapped: %+v", outer)
+	}
+}
+
+func TestRecoverDeferredForm(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("f", &err)
+		panic("kaboom")
+	}
+	err := f()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Site != "f" {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrapped errors keep the type visible to errors.As.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.As(wrapped, &pe) {
+		t.Error("errors.As through wrap failed")
+	}
+}
+
+func TestRecoverNoPanicLeavesErrorAlone(t *testing.T) {
+	sentinel := errors.New("normal failure")
+	f := func() (err error) {
+		defer Recover("f", &err)
+		return sentinel
+	}
+	if err := f(); err != sentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}

@@ -45,6 +45,10 @@ type Engine struct {
 	// reasoning, which short-circuits the per-child useful() check.
 	usedLabels LabelSet
 
+	// limits are the armed resource budgets (see SetLimits); the zero
+	// value is unlimited. Shared with clones, enforced per run.
+	limits Limits
+
 	stats Stats
 }
 
@@ -333,6 +337,9 @@ func (e *Engine) run(cctx context.Context, ctx *xmltree.Node, tr *Trace) ([]cand
 		}
 	}
 	r := &run{Engine: e, trace: tr, ctx: cctx}
+	if e.limits.active() {
+		r.bud = &budget{}
+	}
 	ms := r.getNFASet()
 	ms.set(e.m.Start)
 	r.closeNFA(ms)
@@ -340,7 +347,11 @@ func (e *Engine) run(cctx context.Context, ctx *xmltree.Node, tr *Trace) ([]cand
 	res := r.visit(ctx, ms, seeds)
 	if r.cancelled {
 		e.stats = r.stats
-		return nil, r.stats, cctx.Err()
+		err := r.limitErr
+		if err == nil {
+			err = cctx.Err()
+		}
+		return nil, r.stats, err
 	}
 
 	// Phase 2: walk cans from the initial vertex (ctx, start state).
@@ -425,6 +436,13 @@ type run struct {
 	ctx        context.Context
 	sinceCheck int
 	cancelled  bool
+	// bud, when non-nil, is the run's shared resource budget (see Limits);
+	// the poll window flushes consumption into it and sets limitErr (plus
+	// cancelled, to unwind) once a bound is exceeded. flushedCands is how
+	// many of r.cands were already flushed into the budget.
+	bud          *budget
+	limitErr     error
+	flushedCands int
 
 	// cans DAG, stored pointer-free so the GC never scans it: vertices
 	// are just indices (numVerts), edges live in a flat list (CSR built
@@ -639,11 +657,13 @@ func (r *run) closeAFA(g int, set nfaSet) {
 // relevant children, evaluates active AFAs bottom-up and returns the
 // results the parent folds.
 func (r *run) visit(n *xmltree.Node, ms nfaSet, fseeds []nfaSet) visitResult {
-	if r.ctx != nil && !r.cancelled {
+	if (r.ctx != nil || r.bud != nil) && !r.cancelled {
 		if r.sinceCheck++; r.sinceCheck >= cancelCheckInterval {
 			r.sinceCheck = 0
-			if r.ctx.Err() != nil {
+			if r.ctx != nil && r.ctx.Err() != nil {
 				r.cancelled = true
+			} else if r.bud != nil {
+				r.checkBudget()
 			}
 		}
 	}

@@ -33,6 +33,8 @@ import (
 	"runtime"
 	"sync"
 
+	"smoqe/internal/failpoint"
+	"smoqe/internal/guard"
 	"smoqe/internal/xmltree"
 )
 
@@ -94,6 +96,9 @@ type shardTask struct {
 
 // shardOut is what a worker hands back: the shard's private cans DAG (local
 // vertex numbering starting at 0), its root visitResult and run statistics.
+// err carries a shard-local failure — a recovered panic (*guard.PanicError),
+// an exceeded budget (*LimitError) or an injected fault — that fails the
+// whole evaluation without ever taking down the worker pool.
 type shardOut struct {
 	numVerts  int
 	edges     []edgePair
@@ -102,6 +107,7 @@ type shardOut struct {
 	res       visitResult
 	stats     Stats
 	cancelled bool
+	err       error
 }
 
 // EvalParallel evaluates like Eval but fans independent subtrees out to a
@@ -132,8 +138,13 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Plan: partially visit the root, then split dominating shards.
-	r0 := &run{Engine: e}
+	// Plan: partially visit the root, then split dominating shards. The
+	// budget is shared with every worker run, so MaxVisited/MaxResultNodes
+	// bound the whole parallel evaluation, not each shard separately.
+	r0 := &run{Engine: e, ctx: ctx}
+	if e.limits.active() {
+		r0.bud = &budget{}
+	}
 	ms := r0.getNFASet()
 	ms.set(e.m.Start)
 	r0.closeNFA(ms)
@@ -169,7 +180,11 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 		return nil, pst, ctx.Err()
 	}
 
-	// Execute the shards on a bounded pool of engine clones.
+	// Execute the shards on a bounded pool of engine clones. Each task runs
+	// under its own recover (see runShard): a panic inside one shard —
+	// whether from a poisoned document/automaton pair or an injected fault —
+	// becomes that task's out.err instead of killing the process, and the
+	// WaitGroup barrier always completes.
 	nw := workers
 	if nw > len(tasks) {
 		nw = len(tasks)
@@ -181,23 +196,19 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				wr := &run{Engine: e.Clone(), ctx: ctx}
+				wr := &run{Engine: e.Clone(), ctx: ctx, bud: r0.bud}
 				for t := range ch {
 					if wr.cancelled || (ctx != nil && ctx.Err() != nil) {
 						t.out.cancelled = true
 						continue
 					}
-					t.out.res = wr.visit(t.node, t.cms, t.cseeds)
-					t.out.numVerts = wr.numVerts
-					t.out.edges = wr.edgeList
-					t.out.dead = wr.dead
-					t.out.cands = wr.cands
-					t.out.stats = wr.stats
-					t.out.cancelled = wr.cancelled
-					// Reset per-shard state; the buffer pools stay (the
-					// handed-out result slices are never re-pooled).
-					wr.numVerts, wr.edgeList, wr.dead, wr.cands = 0, nil, nil, nil
-					wr.stats = Stats{}
+					runShard(wr, t)
+					if t.out.err != nil {
+						// The run's internal state (pools, DAG buffers) is
+						// suspect after a panic or an aborted visit; start
+						// the next task from a fresh clone.
+						wr = &run{Engine: e.Clone(), ctx: ctx, bud: r0.bud}
+					}
 				}
 			}()
 		}
@@ -209,9 +220,18 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 	}
 	pst.Workers = nw
 	for _, t := range tasks {
+		if t.out.err != nil {
+			return nil, pst, t.out.err
+		}
+	}
+	for _, t := range tasks {
 		if t.out.cancelled {
 			return nil, pst, ctx.Err()
 		}
+	}
+
+	if err := failpoint.Inject(failpoint.SiteHypeMerge); err != nil {
+		return nil, pst, err
 	}
 
 	// Presize the merged DAG: one growth step instead of log-many
@@ -287,6 +307,35 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 	e.stats = st
 	pst.Stats = st
 	return hits, pst, nil
+}
+
+// runShard evaluates one shard task on the worker's run, isolating panics:
+// a panic anywhere below visit() — including an injected ModePanic fault —
+// is recovered here, inside the worker goroutine (a cross-goroutine panic
+// would kill the process), and reported as the task's error. A shard that
+// trips a resource budget reports its *LimitError the same way.
+func runShard(wr *run, t *shardTask) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.out.err = guard.Recovered(failpoint.SiteHypeShardWorker, rec)
+		}
+	}()
+	if err := failpoint.Inject(failpoint.SiteHypeShardWorker); err != nil {
+		t.out.err = err
+		return
+	}
+	t.out.res = wr.visit(t.node, t.cms, t.cseeds)
+	t.out.numVerts = wr.numVerts
+	t.out.edges = wr.edgeList
+	t.out.dead = wr.dead
+	t.out.cands = wr.cands
+	t.out.stats = wr.stats
+	t.out.cancelled = wr.cancelled
+	t.out.err = wr.limitErr
+	// Reset per-shard state; the buffer pools stay (the handed-out result
+	// slices are never re-pooled).
+	wr.numVerts, wr.edgeList, wr.dead, wr.cands = 0, nil, nil, nil
+	wr.stats = Stats{}
 }
 
 // expandSpine partially visits node n the way visit() would — same stats,

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"smoqe"
+	"smoqe/internal/failpoint"
+	"smoqe/internal/guard"
 )
 
 // PlanKey identifies one cached query plan: the view the query is posed
@@ -117,7 +119,7 @@ func (c *PlanCache) GetOrBuild(key PlanKey, build func() (*smoqe.PreparedQuery, 
 func (c *PlanCache) runBuild(key PlanKey, call *buildCall, build func() (*smoqe.PreparedQuery, error)) {
 	defer func() {
 		if r := recover(); r != nil {
-			call.plan, call.err = nil, fmt.Errorf("server: plan build panicked: %v", r)
+			call.plan, call.err = nil, fmt.Errorf("server: plan build: %w", guard.Recovered(failpoint.SiteServerPlanBuild, r))
 		}
 		close(call.done)
 		c.mu.Lock()

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"smoqe"
+	"smoqe/internal/failpoint"
+	"smoqe/internal/guard"
 )
 
 // Handler returns the HTTP API of the server:
@@ -49,7 +52,29 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.recoverer(mux)
+}
+
+// recoverer is the outermost panic boundary of the HTTP API: whatever
+// slipped past the per-evaluation recovery becomes a 500 with a counted
+// panic instead of a killed connection (net/http would swallow the panic
+// per-connection, but without typing, counting or a JSON error).
+// http.ErrAbortHandler is re-raised — it is the sanctioned way to abort a
+// response, not a fault.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				pe := guard.Recovered("http", rec)
+				s.met.panicked(pe.Site)
+				writeError(w, http.StatusInternalServerError, pe)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // slowResponse is the GET /slow payload.
@@ -77,12 +102,16 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 }
 
 // Serve runs the HTTP API on addr until ctx is canceled, then shuts down
-// gracefully (in-flight requests get up to grace to finish).
+// gracefully (in-flight requests get up to grace to finish; new
+// connections are refused during the drain).
 func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       posDur(s.cfg.ReadTimeout),
+		WriteTimeout:      posDur(s.cfg.WriteTimeout),
+		IdleTimeout:       posDur(s.cfg.IdleTimeout),
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -96,14 +125,63 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 	return srv.Shutdown(shutdownCtx)
 }
 
+// posDur maps the config convention (negative = disabled) onto net/http's
+// (zero = disabled).
+func posDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // retryAfter suggests how long a shed client should back off: the queue
 // deadline rounded up to whole seconds (Retry-After carries integers).
 func (s *Server) retryAfter() string {
-	secs := int64((s.cfg.QueueWait + time.Second - 1) / time.Second)
+	return retryAfterSecs(s.cfg.QueueWait)
+}
+
+// retryAfterSecs renders a backoff hint as whole seconds, rounded up
+// (Retry-After carries integers; zero would mean "retry immediately").
+func retryAfterSecs(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.FormatInt(secs, 10)
+}
+
+// statusFor maps a failed request to its HTTP status — the error taxonomy
+// of the serving stack (see docs/ROBUSTNESS.md):
+//
+//	429 overloaded (admission control)   503 circuit breaker open
+//	504 timeout / client gone            422 evaluation budget exceeded
+//	413 oversized document or body       500 panic or injected fault
+//	404 unknown document/view            400 anything else (client error)
+func statusFor(err error) int {
+	var boe *BreakerOpenError
+	var ele *smoqe.EvalLimitError
+	var ple *smoqe.ParseLimitError
+	var pe *guard.PanicError
+	var fe *failpoint.Error
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.As(err, &boe):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &ele):
+		return http.StatusUnprocessableEntity
+	case errors.As(err, &ple), errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &pe), errors.As(err, &fe):
+		return http.StatusInternalServerError
+	case strings.Contains(err.Error(), "not registered"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -118,10 +196,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+// decodeBody decodes a JSON request body capped at Config.MaxBodyBytes.
+// MaxBytesReader (unlike io.LimitReader) makes the cap an explicit 413 —
+// a silently truncated body would surface as a baffling JSON syntax error
+// — and closes the connection so the client stops uploading.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -130,20 +222,20 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.Query(r.Context(), req)
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			status = http.StatusTooManyRequests
+		status := statusFor(err)
+		switch status {
+		case http.StatusTooManyRequests:
 			w.Header().Set("Retry-After", s.retryAfter())
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			status = http.StatusGatewayTimeout
-		case strings.Contains(err.Error(), "not registered"):
-			status = http.StatusNotFound
+		case http.StatusServiceUnavailable:
+			var boe *BreakerOpenError
+			if errors.As(err, &boe) {
+				w.Header().Set("Retry-After", retryAfterSecs(boe.RetryAfter))
+			}
 		}
 		writeError(w, status, err)
 		return
@@ -178,12 +270,19 @@ func (s *Server) handleRegisterDoc(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		XML  string `json:"xml"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	entry, err := s.reg.RegisterDocumentXML(req.Name, req.XML)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := statusFor(err)
+		if status == http.StatusRequestEntityTooLarge {
+			var ple *smoqe.ParseLimitError
+			if errors.As(err, &ple) {
+				s.met.limitExceeded("doc-" + ple.What)
+			}
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, docInfo{
@@ -217,12 +316,12 @@ func (s *Server) handleRegisterView(w http.ResponseWriter, r *http.Request) {
 		SourceDTD string `json:"source_dtd"`
 		TargetDTD string `json:"target_dtd"`
 	}
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	entry, err := s.RegisterViewSpec(req.Name, req.Spec, req.SourceDTD, req.TargetDTD)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, viewInfo{

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync/atomic"
 	"time"
 
 	"smoqe/internal/telemetry"
@@ -31,6 +32,14 @@ type metrics struct {
 	parallelEvals *telemetry.Counter
 	shards        *telemetry.Counter
 	queueWait     *telemetry.Histogram
+	// Fault tolerance (PR 4): breakerRejected counts requests shed by an
+	// open circuit breaker; panicsAll/limitsAll are the unlabeled totals
+	// behind /stats. The labeled families — smoqe_panics_total{site},
+	// smoqe_limit_exceeded_total{cause}, smoqe_breaker_transitions_total and
+	// smoqe_breaker_state — are registered on demand via the methods below.
+	breakerRejected *telemetry.Counter
+	panicsAll       atomic.Int64
+	limitsAll       atomic.Int64
 }
 
 func newMetrics(s *Server) *metrics {
@@ -66,6 +75,8 @@ func newMetrics(s *Server) *metrics {
 		queueWait: reg.Histogram("smoqe_queue_wait_seconds",
 			"Time requests spent waiting for an evaluation slot.",
 			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}, nil),
+		breakerRejected: reg.Counter("smoqe_breaker_rejected_total",
+			"Requests rejected by an open circuit breaker (HTTP 503).", nil),
 	}
 	reg.GaugeFunc("smoqe_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -94,4 +105,41 @@ func (m *metrics) observeQuery(view string, engine EngineKind, elapsed time.Dura
 		"Query evaluation wall time by view and engine.",
 		nil, telemetry.Labels{"view": view, "engine": string(engine)},
 	).Observe(elapsed.Seconds())
+}
+
+// panicked counts one recovered panic, labeled by recovery site ("eval",
+// "hype.shard.worker", "server.planbuild", "http", ...).
+func (m *metrics) panicked(site string) {
+	m.panicsAll.Add(1)
+	m.reg.Counter("smoqe_panics_total",
+		"Panics recovered at evaluation and serving boundaries, by site.",
+		telemetry.Labels{"site": site}).Inc()
+}
+
+// limitExceeded counts one request refused over a resource limit, labeled
+// by cause: eval-visited-elements, eval-result-nodes (evaluation budgets),
+// doc-depth, doc-nodes, doc-bytes (document parse limits).
+func (m *metrics) limitExceeded(cause string) {
+	m.limitsAll.Add(1)
+	m.reg.Counter("smoqe_limit_exceeded_total",
+		"Requests refused over an exceeded resource limit, by cause.",
+		telemetry.Labels{"cause": cause}).Inc()
+}
+
+// breakerTransition records one circuit-breaker state change: a transition
+// counter plus a per-view state gauge (0 closed, 0.5 half-open, 1 open).
+func (m *metrics) breakerTransition(view, state string) {
+	m.reg.Counter("smoqe_breaker_transitions_total",
+		"Circuit breaker state transitions, by view and new state.",
+		telemetry.Labels{"view": view, "to": state}).Inc()
+	v := 0.0
+	switch state {
+	case breakerOpen:
+		v = 1
+	case breakerHalfOpen:
+		v = 0.5
+	}
+	m.reg.Gauge("smoqe_breaker_state",
+		"Circuit breaker state by view (0 closed, 0.5 half-open, 1 open).",
+		telemetry.Labels{"view": view}).Set(v)
 }

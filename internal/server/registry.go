@@ -51,6 +51,9 @@ type Registry struct {
 	mu    sync.RWMutex
 	docs  map[string]*DocEntry
 	views map[string]*ViewEntry
+	// lim bounds documents registered from XML text (see SetParseLimits);
+	// the zero value accepts everything.
+	lim smoqe.ParseLimits
 }
 
 // NewRegistry returns an empty registry.
@@ -59,6 +62,15 @@ func NewRegistry() *Registry {
 		docs:  make(map[string]*DocEntry),
 		views: make(map[string]*ViewEntry),
 	}
+}
+
+// SetParseLimits bounds every future RegisterDocumentXML: parsing stops
+// with a *smoqe.ParseLimitError (HTTP 413) as soon as a document exceeds a
+// bound. Intended for server construction, before traffic arrives.
+func (r *Registry) SetParseLimits(lim smoqe.ParseLimits) {
+	r.mu.Lock()
+	r.lim = lim
+	r.mu.Unlock()
 }
 
 // RegisterDocument stores a deep copy of doc under name, replacing any
@@ -85,7 +97,10 @@ func (r *Registry) RegisterDocumentXML(name, xmlText string) (*DocEntry, error) 
 	if name == "" {
 		return nil, fmt.Errorf("server: document name must not be empty")
 	}
-	doc, err := smoqe.ParseDocumentString(xmlText)
+	r.mu.RLock()
+	lim := r.lim
+	r.mu.RUnlock()
+	doc, err := smoqe.ParseDocumentStringWithLimits(xmlText, lim)
 	if err != nil {
 		return nil, fmt.Errorf("server: document %q: %w", name, err)
 	}

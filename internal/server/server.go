@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"smoqe"
+	"smoqe/internal/failpoint"
+	"smoqe/internal/guard"
 	"smoqe/internal/hype"
 	"smoqe/internal/telemetry"
 )
@@ -47,6 +49,31 @@ type Config struct {
 	// evaluation slot before being shed (default 100ms when
 	// MaxConcurrentEvals is set).
 	QueueWait time.Duration
+	// EvalLimits bounds how much work one evaluation may do (visited
+	// elements, accumulated result candidates); exceeded budgets return a
+	// structured error (HTTP 422). Zero fields are unlimited.
+	EvalLimits smoqe.EvalLimits
+	// ParseLimits bounds the documents clients may register (nesting
+	// depth, node count, raw bytes); oversized documents are refused with
+	// a structured error (HTTP 413). Zero fields are unlimited.
+	ParseLimits smoqe.ParseLimits
+	// MaxBodyBytes caps one HTTP request body (default 64 MiB; negative
+	// disables the cap). Oversized bodies get HTTP 413.
+	MaxBodyBytes int64
+	// BreakerThreshold is the consecutive server-fault count (panics,
+	// injected faults, timeouts) that opens a view's circuit breaker
+	// (default 5; negative disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects requests before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// ReadTimeout/WriteTimeout/IdleTimeout configure the HTTP server run
+	// by Serve. Defaults: ReadTimeout 30s, WriteTimeout RequestTimeout+30s
+	// (slack for serialization after a full-length evaluation), IdleTimeout
+	// 120s. Negative disables the respective timeout.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +101,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrentEvals > 0 && c.QueueWait == 0 {
 		c.QueueWait = 100 * time.Millisecond
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = c.RequestTimeout + 30*time.Second
+		if c.RequestTimeout < 0 {
+			c.WriteTimeout = -1 // unbounded evaluations need unbounded writes
+		}
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
 	return c
 }
 
@@ -96,6 +144,8 @@ type Server struct {
 	// sem is the admission-control semaphore (nil when unbounded): one
 	// slot per concurrently running evaluation.
 	sem chan struct{}
+	// brk holds the per-view circuit breakers (nil threshold ⇒ disabled).
+	brk *breakerGroup
 }
 
 // New returns a server with an empty registry.
@@ -111,7 +161,10 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrentEvals > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrentEvals)
 	}
+	s.reg.SetParseLimits(cfg.ParseLimits)
+	s.brk = newBreakerGroup(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.met = newMetrics(s)
+	s.brk.onTransition = s.met.breakerTransition
 	return s
 }
 
@@ -214,12 +267,41 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	s.met.requests.Inc()
 	resp, err := s.query(ctx, req)
 	if err != nil {
-		s.met.failures.Inc()
+		s.recordError(err)
 	}
 	return resp, err
 }
 
-func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+// recordError classifies one failed request into the failure metrics:
+// recovered panics by site, exceeded resource limits by cause.
+func (s *Server) recordError(err error) {
+	s.met.failures.Inc()
+	var pe *guard.PanicError
+	var el *smoqe.EvalLimitError
+	var pl *smoqe.ParseLimitError
+	switch {
+	case errors.As(err, &pe):
+		s.met.panicked(pe.Site)
+	case errors.As(err, &el):
+		s.met.limitExceeded("eval-" + el.What)
+	case errors.As(err, &pl):
+		s.met.limitExceeded("doc-" + pl.What)
+	}
+}
+
+// isServerFault reports whether a failed request indicates the server side
+// is unhealthy for its (view, query) class — the outcomes a circuit breaker
+// must count. Panics, injected faults and timeouts qualify; client-caused
+// failures (bad queries, exceeded budgets, cancellations, shed load) do
+// not: a breaker guards against evaluations that break the server, not
+// against clients who send garbage.
+func isServerFault(err error) bool {
+	var pe *guard.PanicError
+	var fe *failpoint.Error
+	return errors.As(err, &pe) || errors.As(err, &fe) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryResponse, err error) {
 	if req.Query == "" {
 		return nil, fmt.Errorf("server: empty query")
 	}
@@ -242,19 +324,36 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		}
 	}
 
+	// Circuit breaker: a view whose evaluations keep failing with server
+	// faults is short-circuited here, before any plan or slot is spent on
+	// it. Every admitted request reports its outcome back (the deferred
+	// record), including the half-open probe that decides recovery.
+	if ok, retry := s.brk.allow(req.View); !ok {
+		s.met.breakerRejected.Inc()
+		return nil, &BreakerOpenError{View: req.View, RetryAfter: retry}
+	}
+	defer func() {
+		s.brk.record(req.View, err != nil && isServerFault(err))
+	}()
+
 	key := PlanKey{View: req.View, Query: req.Query, Engine: engine}
 	plan, hit, err := s.cache.GetOrBuild(key, func() (*smoqe.PreparedQuery, error) {
-		if view != nil {
-			p, err := smoqe.PrepareStringOnView(view.View, req.Query)
-			if err != nil {
-				return nil, fmt.Errorf("server: query: %w", err)
-			}
-			return p, nil
+		if err := failpoint.Inject(failpoint.SiteServerPlanBuild); err != nil {
+			return nil, fmt.Errorf("server: query: %w", err)
 		}
-		p, err := smoqe.PrepareString(req.Query)
+		var p *smoqe.PreparedQuery
+		var err error
+		if view != nil {
+			p, err = smoqe.PrepareStringOnView(view.View, req.Query)
+		} else {
+			p, err = smoqe.PrepareString(req.Query)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("server: query: %w", err)
 		}
+		// Budgets are armed once at build time; every evaluation borrows a
+		// clone that inherits them.
+		p.SetLimits(s.cfg.EvalLimits)
 		return p, nil
 	})
 	if err != nil {
@@ -285,7 +384,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	}
 	elapsed := time.Since(start)
 
-	resp := &QueryResponse{
+	resp = &QueryResponse{
 		Count:         len(res.nodes),
 		IDs:           smoqe.IDsOf(res.nodes),
 		CacheHit:      hit,
@@ -323,6 +422,14 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 		for i := 0; i < n; i++ {
 			resp.Paths[i] = res.nodes[i].Path()
 		}
+	}
+	// The respond fault site covers the window between a successful
+	// evaluation and handing the response back: the evaluation was fine but
+	// the client never gets its answer. Injected here — not in the HTTP
+	// handler — so the deferred breaker record above sees the fault and
+	// consecutive respond faults accumulate toward the threshold.
+	if ferr := failpoint.Inject(failpoint.SiteServerRespond); ferr != nil {
+		return nil, ferr
 	}
 	return resp, nil
 }
@@ -462,6 +569,12 @@ type Stats struct {
 	// request timeout.
 	Shed      int64 `json:"shed"`
 	Cancelled int64 `json:"cancelled"`
+	// Panics counts panics recovered at evaluation and serving boundaries;
+	// LimitExceeded counts requests refused over resource limits;
+	// BreakerRejected counts requests shed by an open circuit breaker.
+	Panics          int64 `json:"panics"`
+	LimitExceeded   int64 `json:"limit_exceeded"`
+	BreakerRejected int64 `json:"breaker_rejected"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -480,6 +593,9 @@ func (s *Server) Stats() Stats {
 		SlowQueries:     s.met.slowQueries.Value(),
 		Shed:            s.met.shed.Value(),
 		Cancelled:       s.met.cancelled.Value(),
+		Panics:          s.met.panicsAll.Load(),
+		LimitExceeded:   s.met.limitsAll.Load(),
+		BreakerRejected: s.met.breakerRejected.Value(),
 	}
 }
 
@@ -491,6 +607,11 @@ type HealthInfo struct {
 	GoVersion     string    `json:"go_version"`
 	Started       time.Time `json:"started"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
+	// Breakers maps each view that has seen traffic to its circuit-breaker
+	// state ("closed", "open", "half-open"); the empty key is the
+	// direct-document breaker. Omitted when breakers are disabled or idle.
+	// Any open breaker degrades Status to "degraded".
+	Breakers map[string]string `json:"breakers,omitempty"`
 }
 
 // Health returns the server's build/version/uptime report.
@@ -500,6 +621,13 @@ func (s *Server) Health() HealthInfo {
 		GoVersion:     runtime.Version(),
 		Started:       s.start,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Breakers:      s.brk.snapshot(),
+	}
+	for _, state := range h.Breakers {
+		if state != breakerClosed {
+			h.Status = "degraded"
+			break
+		}
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		h.Module = bi.Main.Path

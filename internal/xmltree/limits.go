@@ -1,0 +1,66 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+)
+
+// ParseLimits bounds the documents Parse will accept. A serving daemon that
+// loads documents from untrusted requests needs hard caps — a deeply nested
+// or enormous input should be refused with a clear error before it exhausts
+// memory, not half-loaded until the process dies. Zero fields are unlimited.
+type ParseLimits struct {
+	// MaxDepth caps element nesting depth (the root is at depth 1).
+	MaxDepth int
+	// MaxNodes caps the total node count (elements plus text nodes).
+	MaxNodes int
+	// MaxBytes caps the raw input size in bytes, checked as the reader is
+	// consumed, so a huge body is abandoned at the cap rather than slurped.
+	MaxBytes int64
+}
+
+func (l ParseLimits) active() bool {
+	return l.MaxDepth > 0 || l.MaxNodes > 0 || l.MaxBytes > 0
+}
+
+// Input dimensions reported in LimitError.What.
+const (
+	LimitDepth = "depth"
+	LimitNodes = "nodes"
+	LimitBytes = "bytes"
+)
+
+// LimitError reports an input document refused because it exceeds a parse
+// limit. The serving layer maps it to HTTP 413 with a per-cause metric.
+type LimitError struct {
+	// What names the exceeded dimension: LimitDepth, LimitNodes or
+	// LimitBytes.
+	What string
+	// Limit is the configured bound.
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xmltree: document exceeds %s limit (%d)", e.What, e.Limit)
+}
+
+// limitReader returns a *LimitError once more than max bytes have been read.
+// (io.LimitReader would silently truncate instead, turning an oversized
+// document into a confusing "unclosed element" error.)
+type limitReader struct {
+	r   io.Reader
+	n   int64 // bytes remaining
+	max int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, &LimitError{What: LimitBytes, Limit: l.max}
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}

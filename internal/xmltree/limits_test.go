@@ -1,0 +1,85 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"smoqe/internal/failpoint"
+)
+
+func TestParseMaxDepth(t *testing.T) {
+	deep := "<a><b><c><d>x</d></c></b></a>"
+	if _, err := ParseStringWithLimits(deep, ParseLimits{MaxDepth: 4}); err != nil {
+		t.Fatalf("depth exactly at limit rejected: %v", err)
+	}
+	_, err := ParseStringWithLimits(deep, ParseLimits{MaxDepth: 3})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	if le.What != LimitDepth || le.Limit != 3 {
+		t.Errorf("LimitError = %+v", le)
+	}
+}
+
+func TestParseMaxNodes(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 20; i++ {
+		sb.WriteString("<item>v</item>")
+	}
+	sb.WriteString("</r>")
+	xml := sb.String()
+
+	// 1 root + 20 items + 20 text nodes = 41.
+	if _, err := ParseStringWithLimits(xml, ParseLimits{MaxNodes: 41}); err != nil {
+		t.Fatalf("nodes exactly at limit rejected: %v", err)
+	}
+	_, err := ParseStringWithLimits(xml, ParseLimits{MaxNodes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != LimitNodes {
+		t.Fatalf("err = %v, want *LimitError{What: nodes}", err)
+	}
+}
+
+func TestParseMaxBytes(t *testing.T) {
+	xml := "<r><a>hello</a></r>"
+	if _, err := ParseStringWithLimits(xml, ParseLimits{MaxBytes: int64(len(xml))}); err != nil {
+		t.Fatalf("document exactly at byte limit rejected: %v", err)
+	}
+	_, err := ParseStringWithLimits(xml, ParseLimits{MaxBytes: int64(len(xml)) - 1})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	if le.What != LimitBytes || le.Limit != int64(len(xml))-1 {
+		t.Errorf("LimitError = %+v", le)
+	}
+}
+
+func TestParseZeroLimitsUnlimited(t *testing.T) {
+	xml := "<a><b><c><d><e>deep</e></d></c></b></a>"
+	if _, err := ParseStringWithLimits(xml, ParseLimits{}); err != nil {
+		t.Fatalf("zero limits rejected a document: %v", err)
+	}
+	if _, err := ParseString(xml); err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+}
+
+func TestParseFailpoint(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	if err := failpoint.Enable(failpoint.SiteXMLTreeParse, "error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParseString("<a/>")
+	var fe *failpoint.Error
+	if !errors.As(err, &fe) || fe.Site != failpoint.SiteXMLTreeParse {
+		t.Fatalf("err = %v, want injected parse failpoint", err)
+	}
+	failpoint.DisableAll()
+	if _, err := ParseString("<a/>"); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}

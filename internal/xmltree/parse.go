@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"smoqe/internal/failpoint"
 )
 
 // Parse reads an XML document from r into a Document. Attributes, comments,
@@ -12,6 +14,23 @@ import (
 // text between elements is dropped (it never carries data in the SMOQE data
 // model), while any other character data becomes a Text node.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseWithLimits(r, ParseLimits{})
+}
+
+// ParseWithLimits is Parse with input caps: parsing stops with a *LimitError
+// as soon as the document exceeds lim's depth, node-count or byte bound (zero
+// fields are unlimited), so oversized or hostile inputs are refused early
+// instead of loaded until memory runs out.
+func ParseWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
+	if err := failpoint.Inject(failpoint.SiteXMLTreeParse); err != nil {
+		return nil, fmt.Errorf("xmltree: parse: %w", err)
+	}
+	if lim.MaxBytes > 0 {
+		// One slack byte: the error must fire only when the input is
+		// strictly larger than the cap, not on the EOF probe after a
+		// document of exactly MaxBytes.
+		r = &limitReader{r: r, n: lim.MaxBytes + 1, max: lim.MaxBytes}
+	}
 	dec := xml.NewDecoder(r)
 	d := &Document{}
 	var stack []*Node
@@ -25,6 +44,9 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if lim.MaxDepth > 0 && len(stack)+1 > lim.MaxDepth {
+				return nil, &LimitError{What: LimitDepth, Limit: int64(lim.MaxDepth)}
+			}
 			n := &Node{Kind: Element, Label: t.Name.Local}
 			if len(stack) == 0 {
 				if d.Root != nil {
@@ -74,6 +96,9 @@ func Parse(r io.Reader) (*Document, error) {
 		default:
 			// Comments, directives and processing instructions are ignored.
 		}
+		if lim.MaxNodes > 0 && d.NumNodes() > lim.MaxNodes {
+			return nil, &LimitError{What: LimitNodes, Limit: int64(lim.MaxNodes)}
+		}
 	}
 	if d.Root == nil {
 		return nil, fmt.Errorf("xmltree: parse: empty document")
@@ -87,6 +112,11 @@ func Parse(r io.Reader) (*Document, error) {
 // ParseString parses an XML document from a string.
 func ParseString(s string) (*Document, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// ParseStringWithLimits parses an XML document from a string with input caps.
+func ParseStringWithLimits(s string, lim ParseLimits) (*Document, error) {
+	return ParseWithLimits(strings.NewReader(s), lim)
 }
 
 // WriteXML serializes the document to w as XML. Text content is escaped.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smoqe/internal/guard"
 	"smoqe/internal/hype"
 	"smoqe/internal/mfa"
 	"smoqe/internal/rewrite"
@@ -53,6 +54,10 @@ type PreparedQuery struct {
 	m       *MFA
 	pool    *enginePool
 	timings PlanTimings
+
+	// limits are armed on every engine clone borrowed for an evaluation;
+	// the zero value is unlimited. See SetLimits.
+	limits hype.Limits
 
 	// opt maps a document's index to a pool of OptHyPE clones. All clones
 	// for one index share that single index (it is read-only after build);
@@ -153,6 +158,37 @@ func (p *PreparedQuery) MFA() *MFA { return p.m }
 // Timings returns the recorded preparation phase durations.
 func (p *PreparedQuery) Timings() PlanTimings { return p.timings }
 
+// SetLimits arms resource budgets (see EvalLimits) on every subsequent
+// evaluation of this plan; the zero value disarms them. Exceeded budgets
+// surface as a *EvalLimitError from the error-returning Eval forms; the
+// error-less legacy forms return an empty answer for an aborted run. Must
+// not be called concurrently with evaluations.
+func (p *PreparedQuery) SetLimits(l EvalLimits) { p.limits = l }
+
+// Limits returns the armed resource budgets.
+func (p *PreparedQuery) Limits() EvalLimits { return p.limits }
+
+// withEngine runs fn with an engine clone borrowed from ep — the single
+// chokepoint of every evaluation path. It arms the plan's resource budgets
+// on the clone and isolates panics: a panic inside fn (a poisoned
+// query/document pair, an injected fault) becomes a *guard.PanicError
+// return, and the clone — whose internal state is suspect after unwinding
+// mid-DFS — is dropped instead of re-pooled, so one poisoned run can never
+// contaminate later borrowers.
+func (p *PreparedQuery) withEngine(ep *enginePool, fn func(e *Engine) error) (err error) {
+	e := ep.pool.Get().(*Engine)
+	defer func() {
+		if r := recover(); r != nil {
+			err = guard.Recovered("eval", r)
+			return
+		}
+		ep.pool.Put(e)
+	}()
+	e.SetLimits(p.limits)
+	err = fn(e)
+	return err
+}
+
 // Eval evaluates the prepared query at ctx with HyPE. Safe to call from
 // any number of goroutines concurrently.
 func (p *PreparedQuery) Eval(ctx *Node) []*Node {
@@ -166,10 +202,18 @@ func (p *PreparedQuery) Eval(ctx *Node) []*Node {
 // the plan — this is what per-request reporting must use (reading the
 // aggregate Stats() before and after is racy by construction).
 func (p *PreparedQuery) EvalWithStats(ctx *Node) ([]*Node, EngineStats) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st := e.EvalWithStats(ctx)
+	var res []*Node
+	var st EngineStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		res, st = e.EvalWithStats(ctx)
+		return nil
+	})
+	if err != nil {
+		// Legacy error-less form: a recovered panic yields an empty answer
+		// (the error-returning forms report it; the daemon uses those).
+		return nil, st
+	}
 	p.account(st)
-	p.pool.pool.Put(e)
 	return res, st
 }
 
@@ -177,10 +221,17 @@ func (p *PreparedQuery) EvalWithStats(ctx *Node) ([]*Node, EngineStats) {
 // hype.Trace); limit <= 0 applies hype.DefaultTraceLimit. Safe for
 // concurrent use; the trace belongs to this run alone.
 func (p *PreparedQuery) EvalTraced(ctx *Node, limit int) ([]*Node, EngineStats, *Trace) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, tr := e.EvalTraced(ctx, limit)
+	var res []*Node
+	var st EngineStats
+	var tr *Trace
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		res, st, tr = e.EvalTraced(ctx, limit)
+		return nil
+	})
+	if err != nil {
+		return nil, st, tr
+	}
 	p.account(st)
-	p.pool.pool.Put(e)
 	return res, st, tr
 }
 
@@ -196,22 +247,33 @@ func (p *PreparedQuery) EvalIndexed(ctx *Node, idx *Index) []*Node {
 // EvalIndexedWithStats is EvalIndexed returning this run's exact
 // statistics (see EvalWithStats).
 func (p *PreparedQuery) EvalIndexedWithStats(ctx *Node, idx *Index) ([]*Node, EngineStats) {
-	ep := p.indexPool(idx)
-	e := ep.pool.Get().(*Engine)
-	res, st := e.EvalWithStats(ctx)
+	var res []*Node
+	var st EngineStats
+	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
+		res, st = e.EvalWithStats(ctx)
+		return nil
+	})
+	if err != nil {
+		return nil, st
+	}
 	p.account(st)
-	ep.pool.Put(e)
 	return res, st
 }
 
 // EvalIndexedTraced is EvalIndexed with per-run statistics and a capped
 // decision trace; index prunes appear with their skipped-element counts.
 func (p *PreparedQuery) EvalIndexedTraced(ctx *Node, idx *Index, limit int) ([]*Node, EngineStats, *Trace) {
-	ep := p.indexPool(idx)
-	e := ep.pool.Get().(*Engine)
-	res, st, tr := e.EvalTraced(ctx, limit)
+	var res []*Node
+	var st EngineStats
+	var tr *Trace
+	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
+		res, st, tr = e.EvalTraced(ctx, limit)
+		return nil
+	})
+	if err != nil {
+		return nil, st, tr
+	}
 	p.account(st)
-	ep.pool.Put(e)
 	return res, st, tr
 }
 
@@ -240,10 +302,16 @@ func (p *PreparedQuery) EvalTagged(ctx *Node) [][]*Node {
 // EvalTaggedWithStats is EvalTagged returning this run's exact
 // statistics.
 func (p *PreparedQuery) EvalTaggedWithStats(ctx *Node) ([][]*Node, EngineStats) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st := e.EvalTaggedWithStats(ctx)
+	var res [][]*Node
+	var st EngineStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		res, st = e.EvalTaggedWithStats(ctx)
+		return nil
+	})
+	if err != nil {
+		return nil, st
+	}
 	p.account(st)
-	p.pool.pool.Put(e)
 	return res, st
 }
 
@@ -253,62 +321,82 @@ func (p *PreparedQuery) EvalTaggedWithStats(ctx *Node) ([][]*Node, EngineStats) 
 // aborted run. Cancelled runs are not counted in Stats(). Safe for
 // concurrent use.
 func (p *PreparedQuery) EvalCtx(ctx context.Context, n *Node) ([]*Node, EngineStats, error) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, err := e.EvalCtx(ctx, n)
+	var res []*Node
+	var st EngineStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalCtx(ctx, n)
+		return err
+	})
 	if err == nil {
 		p.account(st)
 	}
-	p.pool.pool.Put(e)
 	return res, st, err
 }
 
 // EvalIndexedCtx is EvalIndexedWithStats honoring context cancellation
 // (see EvalCtx).
 func (p *PreparedQuery) EvalIndexedCtx(ctx context.Context, n *Node, idx *Index) ([]*Node, EngineStats, error) {
-	ep := p.indexPool(idx)
-	e := ep.pool.Get().(*Engine)
-	res, st, err := e.EvalCtx(ctx, n)
+	var res []*Node
+	var st EngineStats
+	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalCtx(ctx, n)
+		return err
+	})
 	if err == nil {
 		p.account(st)
 	}
-	ep.pool.Put(e)
 	return res, st, err
 }
 
 // EvalTaggedCtx is EvalTaggedWithStats honoring context cancellation (see
 // EvalCtx).
 func (p *PreparedQuery) EvalTaggedCtx(ctx context.Context, n *Node) ([][]*Node, EngineStats, error) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, err := e.EvalTaggedCtx(ctx, n)
+	var res [][]*Node
+	var st EngineStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalTaggedCtx(ctx, n)
+		return err
+	})
 	if err == nil {
 		p.account(st)
 	}
-	p.pool.pool.Put(e)
 	return res, st, err
 }
 
 // EvalTracedCtx is EvalTraced honoring context cancellation (see EvalCtx);
 // the partial trace of an aborted run is still returned.
 func (p *PreparedQuery) EvalTracedCtx(ctx context.Context, n *Node, limit int) ([]*Node, EngineStats, *Trace, error) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, tr, err := e.EvalTracedCtx(ctx, n, limit)
+	var res []*Node
+	var st EngineStats
+	var tr *Trace
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		res, st, tr, err = e.EvalTracedCtx(ctx, n, limit)
+		return err
+	})
 	if err == nil {
 		p.account(st)
 	}
-	p.pool.pool.Put(e)
 	return res, st, tr, err
 }
 
 // EvalIndexedTracedCtx is EvalIndexedTraced honoring context cancellation
 // (see EvalCtx).
 func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *Index, limit int) ([]*Node, EngineStats, *Trace, error) {
-	ep := p.indexPool(idx)
-	e := ep.pool.Get().(*Engine)
-	res, st, tr, err := e.EvalTracedCtx(ctx, n, limit)
+	var res []*Node
+	var st EngineStats
+	var tr *Trace
+	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
+		var err error
+		res, st, tr, err = e.EvalTracedCtx(ctx, n, limit)
+		return err
+	})
 	if err == nil {
 		p.account(st)
 	}
-	ep.pool.Put(e)
 	return res, st, tr, err
 }
 
@@ -319,37 +407,48 @@ func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *
 // engine acts as the sequential planner; its workers run on private
 // clones, so concurrent EvalParallelCtx calls are safe just like Eval.
 func (p *PreparedQuery) EvalParallelCtx(ctx context.Context, n *Node, workers int) ([]*Node, ParallelStats, error) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, err := e.EvalParallel(ctx, n, workers)
+	var res []*Node
+	var st ParallelStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalParallel(ctx, n, workers)
+		return err
+	})
 	if err == nil {
 		p.account(st.Stats)
 	}
-	p.pool.pool.Put(e)
 	return res, st, err
 }
 
 // EvalIndexedParallelCtx is EvalParallelCtx with OptHyPE against idx; the
 // index additionally gives the shard planner exact subtree sizes.
 func (p *PreparedQuery) EvalIndexedParallelCtx(ctx context.Context, n *Node, idx *Index, workers int) ([]*Node, ParallelStats, error) {
-	ep := p.indexPool(idx)
-	e := ep.pool.Get().(*Engine)
-	res, st, err := e.EvalParallel(ctx, n, workers)
+	var res []*Node
+	var st ParallelStats
+	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalParallel(ctx, n, workers)
+		return err
+	})
 	if err == nil {
 		p.account(st.Stats)
 	}
-	ep.pool.Put(e)
 	return res, st, err
 }
 
 // EvalTaggedParallelCtx is EvalParallelCtx for batch automata (see Merge):
 // one sharded pass answers every merged machine, indexed by tag.
 func (p *PreparedQuery) EvalTaggedParallelCtx(ctx context.Context, n *Node, workers int) ([][]*Node, ParallelStats, error) {
-	e := p.pool.pool.Get().(*Engine)
-	res, st, err := e.EvalTaggedParallel(ctx, n, workers)
+	var res [][]*Node
+	var st ParallelStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		res, st, err = e.EvalTaggedParallel(ctx, n, workers)
+		return err
+	})
 	if err == nil {
 		p.account(st.Stats)
 	}
-	p.pool.pool.Put(e)
 	return res, st, err
 }
 

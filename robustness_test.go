@@ -1,0 +1,91 @@
+package smoqe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"smoqe"
+	"smoqe/internal/datagen"
+	"smoqe/internal/failpoint"
+	"smoqe/internal/guard"
+	"smoqe/internal/hospital"
+)
+
+// TestPreparedQueryPanicRecovery: a panic during evaluation — injected in
+// a shard worker via a failpoint — must come back as a typed error from
+// the Ctx evaluators, and the engine pool must not be poisoned: the next
+// evaluation on the same PreparedQuery succeeds with correct answers.
+func TestPreparedQueryPanicRecovery(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	doc := datagen.Generate(datagen.DefaultConfig(120))
+	p, err := smoqe.PrepareString("//diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(smoqe.IDsOf(p.Eval(doc.Root)))
+
+	if err := failpoint.Enable(failpoint.SiteHypeShardWorker, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.EvalParallelCtx(context.Background(), doc.Root, 4)
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *guard.PanicError", err)
+	}
+	failpoint.DisableAll()
+
+	// Pool must be clean: repeated evaluations still agree with the
+	// pre-panic answer.
+	for i := 0; i < 4; i++ {
+		res, _, err := p.EvalParallelCtx(context.Background(), doc.Root, 4)
+		if err != nil {
+			t.Fatalf("round %d after recovery: %v", i, err)
+		}
+		if got := fmt.Sprint(smoqe.IDsOf(res)); got != want {
+			t.Errorf("round %d: got %v, want %v", i, got, want)
+		}
+		if got := fmt.Sprint(smoqe.IDsOf(p.Eval(doc.Root))); got != want {
+			t.Errorf("round %d sequential: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestPreparedQueryEvalLimits: budgets set on a PreparedQuery reach the
+// pooled engines and surface as *EvalLimitError.
+func TestPreparedQueryEvalLimits(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(500))
+	p, err := smoqe.PrepareString("//diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLimits(smoqe.EvalLimits{MaxVisited: 512})
+	_, _, err = p.EvalCtx(context.Background(), doc.Root)
+	var le *smoqe.EvalLimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *EvalLimitError", err)
+	}
+
+	// Clearing the limits restores normal evaluation on the same pool.
+	p.SetLimits(smoqe.EvalLimits{})
+	res, _, err := p.EvalCtx(context.Background(), doc.Root)
+	if err != nil {
+		t.Fatalf("after clearing limits: %v", err)
+	}
+	if len(res) == 0 {
+		t.Error("no results after clearing limits")
+	}
+}
+
+// TestParseDocumentWithLimits: the facade surfaces the loader limits.
+func TestParseDocumentWithLimits(t *testing.T) {
+	_, err := smoqe.ParseDocumentStringWithLimits(hospital.SampleXML, smoqe.ParseLimits{MaxNodes: 5})
+	var le *smoqe.ParseLimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *ParseLimitError", err)
+	}
+	if _, err := smoqe.ParseDocumentStringWithLimits(hospital.SampleXML, smoqe.ParseLimits{}); err != nil {
+		t.Fatalf("unlimited parse: %v", err)
+	}
+}

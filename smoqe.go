@@ -109,6 +109,23 @@ type Trace = hype.Trace
 // TraceEvent is one recorded decision of a traced run.
 type TraceEvent = hype.TraceEvent
 
+// EvalLimits bounds how much work one evaluation may do (visited elements,
+// accumulated candidate answers); arm them with PreparedQuery.SetLimits or
+// Engine.SetLimits. The zero value is unlimited.
+type EvalLimits = hype.Limits
+
+// EvalLimitError reports an evaluation aborted over an exceeded EvalLimits
+// budget.
+type EvalLimitError = hype.LimitError
+
+// ParseLimits bounds the documents ParseDocumentWithLimits will accept
+// (nesting depth, node count, raw bytes). The zero value is unlimited.
+type ParseLimits = xmltree.ParseLimits
+
+// ParseLimitError reports an input document refused over an exceeded
+// ParseLimits bound.
+type ParseLimitError = xmltree.LimitError
+
 // IDsOf returns the document-order IDs of the given nodes — the stable
 // node references the serving layer returns to clients.
 func IDsOf(ns []*Node) []int { return xmltree.IDsOf(ns) }
@@ -120,6 +137,18 @@ func ParseDocument(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
 
 // ParseDocumentString parses an XML document from a string.
 func ParseDocumentString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// ParseDocumentWithLimits is ParseDocument with input caps: parsing stops
+// with a *ParseLimitError as soon as the document exceeds a bound, so a
+// serving daemon can refuse oversized or hostile inputs deterministically.
+func ParseDocumentWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
+	return xmltree.ParseWithLimits(r, lim)
+}
+
+// ParseDocumentStringWithLimits is ParseDocumentWithLimits for a string.
+func ParseDocumentStringWithLimits(s string, lim ParseLimits) (*Document, error) {
+	return xmltree.ParseStringWithLimits(s, lim)
+}
 
 // ParseDTD parses a DTD in the textual format documented in package dtd:
 //
