@@ -1,0 +1,109 @@
+// Command smoqevet runs SMOQE's domain-specific static analyzers — the
+// machine-checked half of the conventions docs/ANALYSIS.md describes. It
+// is a CI gate: any diagnostic fails the build.
+//
+// Usage:
+//
+//	smoqevet [-checks a,b] [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Diagnostics print as path:line:col: [analyzer] message. Exit status is
+// 0 when clean, 1 when diagnostics were reported, 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"smoqe/internal/analysis"
+	"smoqe/internal/analysis/atomiccheck"
+	"smoqe/internal/analysis/ctxcheck"
+	"smoqe/internal/analysis/failpointcheck"
+	"smoqe/internal/analysis/guardcheck"
+	"smoqe/internal/analysis/lockcheck"
+	"smoqe/internal/analysis/metriccheck"
+)
+
+// all is every analyzer smoqevet knows, in output order.
+var all = []*analysis.Analyzer{
+	atomiccheck.Analyzer,
+	ctxcheck.Analyzer,
+	failpointcheck.Analyzer,
+	guardcheck.Analyzer,
+	lockcheck.Analyzer,
+	metriccheck.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is main, factored for testing: args are the command-line arguments,
+// dir anchors module discovery.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smoqevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "smoqevet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "smoqevet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "smoqevet: %v\n", err)
+		return 2
+	}
+	prog := analysis.NewProgram(loader.Fset, pkgs)
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "smoqevet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, ".", &out, &errOut); code != 0 {
+		t.Fatalf("run -list = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"lockcheck", "atomiccheck", "failpointcheck", "metriccheck", "ctxcheck", "guardcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nosuch"}, ".", &out, &errOut); code != 2 {
+		t.Fatalf("run -checks nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown analyzer", errOut.String())
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func bump(x *c) {
+	x.n++
+}
+
+func ok(x *c) {
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+}
+`,
+	})
+	var out, errOut strings.Builder
+	code := run([]string{"./..."}, dir, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[lockcheck] write of x.n without holding x.mu") {
+		t.Errorf("missing lockcheck diagnostic in output:\n%s", out.String())
+	}
+
+	// Suppressing the only finding brings the exit status back to 0.
+	src, err := os.ReadFile(filepath.Join(dir, "a", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(string(src), "\tx.n++\n}\n\nfunc ok", "\t//lint:ignore lockcheck test fixture\n\tx.n++\n}\n\nfunc ok", 1)
+	if fixed == string(src) {
+		t.Fatal("suppression edit did not apply")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a", "a.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"./..."}, dir, &out, &errOut); code != 0 {
+		t.Fatalf("run after suppression = %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.24\n",
+		"a/a.go": "package a\n\nfunc broken() { return 1 }\n",
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, dir, &out, &errOut); code != 2 {
+		t.Fatalf("run on broken package = %d, want 2; stderr: %s", code, errOut.String())
+	}
+}

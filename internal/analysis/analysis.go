@@ -1,0 +1,218 @@
+// Package analysis is a dependency-free static-analysis driver for the
+// SMOQE tree: a small subset of the golang.org/x/tools analysis framework
+// rebuilt on the standard library alone (go/ast, go/parser, go/types,
+// go/importer), because this module deliberately has no third-party
+// dependencies. cmd/smoqevet wires the domain-specific analyzers
+// (lockcheck, atomiccheck, failpointcheck, metriccheck, ctxcheck,
+// guardcheck) into a vet-style CLI that CI gates on.
+//
+// An Analyzer inspects type-checked packages and reports position-accurate
+// diagnostics. Per-package analyzers set Run; whole-program analyzers
+// (cross-package invariants like "every failpoint site constant is injected
+// somewhere") set RunProgram instead and see every loaded package at once.
+//
+// Diagnostics can be suppressed in source with a directive on the offending
+// line or the line directly above it:
+//
+//	//lint:ignore <checks> <reason>
+//
+// where <checks> is a comma-separated list of analyzer names (or *) and
+// <reason> is mandatory free text — an ignore without a reason is itself a
+// diagnostic. See docs/ANALYSIS.md for the conventions each analyzer
+// enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Exactly one of Run and RunProgram must be
+// set: Run sees one package at a time, RunProgram sees the whole loaded
+// program (for invariants that span packages).
+type Analyzer struct {
+	// Name identifies the analyzer in output and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by smoqevet -list.
+	Doc string
+	// Run analyzes a single package (pass.Pkg is set).
+	Run func(*Pass) error
+	// RunProgram analyzes the whole program (pass.Program is set, pass.Pkg
+	// is nil).
+	RunProgram func(*Pass) error
+}
+
+// Diagnostic is one finding: where, by which analyzer, and what.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the package's import path (for fixture packages, the path
+	// relative to the fixture source root).
+	Path string
+	// Dir is the directory the package's files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// ignores holds the parsed //lint:ignore directives, keyed by filename.
+	ignores map[string][]ignoreDirective
+	// directiveErrs are malformed directives, reported unconditionally.
+	directiveErrs []Diagnostic
+}
+
+// Program is every package of one analysis run.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Pass carries one analyzer invocation's context and collects its
+// diagnostics. Per-package analyzers read Pkg; program analyzers read
+// Program.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Program  *Program
+	Fset     *token.FileSet
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos. Diagnostics on a line covered by a
+// matching //lint:ignore directive are dropped by the driver.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// matching diagnostics on its own line and the line directly below it.
+type ignoreDirective struct {
+	line   int
+	checks []string
+	reason string
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	for _, c := range d.checks {
+		if c == "*" || c == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores scans a file's comments for //lint:ignore directives.
+// Malformed directives (no checks, or no reason) are returned as
+// diagnostics so a typo cannot silently disable a check.
+func parseIgnores(fset *token.FileSet, file *ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var errs []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				errs = append(errs, Diagnostic{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: "lint",
+					Message:  "malformed directive: want //lint:ignore <checks> <reason>",
+				})
+				continue
+			}
+			dirs = append(dirs, ignoreDirective{
+				line:   fset.Position(c.Pos()).Line,
+				checks: strings.Split(fields[0], ","),
+				reason: strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return dirs, errs
+}
+
+// suppressed reports whether d is covered by an ignore directive of its
+// file: one on the same line (trailing comment) or the line directly above.
+func (prog *Program) suppressed(d Diagnostic) bool {
+	for _, pkg := range prog.Packages {
+		dirs, ok := pkg.ignores[d.Pos.Filename]
+		if !ok {
+			continue
+		}
+		for _, dir := range dirs {
+			if (dir.line == d.Pos.Line || dir.line+1 == d.Pos.Line) && dir.matches(d.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// malformed //lint:ignore directives are always reported (analyzer "lint").
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) {
+		if !prog.suppressed(d) {
+			diags = append(diags, d)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		diags = append(diags, pkg.directiveErrs...)
+	}
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			pass := &Pass{Analyzer: a, Program: prog, Fset: prog.Fset, report: collect}
+			if err := a.RunProgram(pass); err != nil {
+				return diags, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+		case a.Run != nil:
+			for _, pkg := range prog.Packages {
+				pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog, Fset: prog.Fset, report: collect}
+				if err := a.Run(pass); err != nil {
+					return diags, fmt.Errorf("analysis: %s: %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		default:
+			return diags, fmt.Errorf("analysis: %s: neither Run nor RunProgram set", a.Name)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,206 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smoqe/internal/analysis"
+)
+
+// loadDrv loads the drv fixture package.
+func loadDrv(t *testing.T) (*analysis.Program, *analysis.Package) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join("testdata", "src"))
+	pkgs, err := loader.Load("drv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.NewProgram(loader.Fset, pkgs), pkgs[0]
+}
+
+// callReporter reports one diagnostic per function-call expression —
+// enough to exercise every suppression shape in the fixture.
+func callReporter(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				pass.Reportf(call.Pos(), "call site")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func TestSuppression(t *testing.T) {
+	prog, _ := loadDrv(t)
+	a := &analysis.Analyzer{Name: "testcheck", Doc: "test", Run: callReporter}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixture calls: b (line-above directive, suppressed), c (same-line,
+	// suppressed), d (directive names another analyzer, reported),
+	// e (wildcard, suppressed), f (malformed directive, reported) — plus
+	// the malformed directive itself from the "lint" pseudo-analyzer.
+	var testDiags, lintDiags []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "testcheck":
+			testDiags = append(testDiags, d)
+		case "lint":
+			lintDiags = append(lintDiags, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(testDiags) != 2 {
+		t.Errorf("testcheck diagnostics = %d, want 2 (d and f):\n%v", len(testDiags), testDiags)
+	}
+	if len(lintDiags) != 1 || !strings.Contains(lintDiags[0].Message, "malformed directive") {
+		t.Errorf("lint diagnostics = %v, want one malformed-directive report", lintDiags)
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Line < diags[i-1].Pos.Line {
+			t.Errorf("diagnostics not sorted by line: %v before %v", diags[i-1], diags[i])
+		}
+	}
+}
+
+func TestSuppressionMatchesAnalyzerName(t *testing.T) {
+	prog, _ := loadDrv(t)
+	a := &analysis.Analyzer{Name: "othercheck", Doc: "test", Run: callReporter}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For othercheck the roles flip: only d's directive (and e's wildcard)
+	// suppress; b, c and f report.
+	count := 0
+	for _, d := range diags {
+		if d.Analyzer == "othercheck" {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("othercheck diagnostics = %d, want 3 (b, c, f):\n%v", count, diags)
+	}
+}
+
+func TestRunProgramSeesAllPackages(t *testing.T) {
+	prog, _ := loadDrv(t)
+	seen := 0
+	a := &analysis.Analyzer{
+		Name: "prog",
+		Doc:  "test",
+		RunProgram: func(pass *analysis.Pass) error {
+			if pass.Pkg != nil {
+				t.Error("RunProgram pass has Pkg set")
+			}
+			seen = len(pass.Program.Packages)
+			return nil
+		},
+	}
+	if _, err := analysis.Run(prog, []*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Errorf("program packages = %d, want 1", seen)
+	}
+}
+
+func TestAnalyzerWithoutRunIsAnError(t *testing.T) {
+	prog, _ := loadDrv(t)
+	a := &analysis.Analyzer{Name: "hollow", Doc: "test"}
+	if _, err := analysis.Run(prog, []*analysis.Analyzer{a}); err == nil {
+		t.Fatal("analyzer with neither Run nor RunProgram accepted")
+	}
+}
+
+func TestModuleLoaderPatterns(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.test\n\ngo 1.24\n")
+	write("root.go", "package root\n")
+	write("sub/sub.go", "package sub\n\nimport \"example.test/sub/deep\"\n\nvar _ = deep.V\n")
+	write("sub/deep/deep.go", "package deep\n\n// V is exported.\nvar V = 1\n")
+	write("sub/testdata/skip.go", "package skip\n\nfunc broken() {\n") // must never be loaded
+	write("sub/sub_test.go", "package sub\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) { panic(1) }\n")
+
+	// Module discovery works from a subdirectory too.
+	loader, err := analysis.NewLoader(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.test", "example.test/sub", "example.test/sub/deep"}
+	if len(paths) != len(want) {
+		t.Fatalf("Load(./...) = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Load(./...) = %v, want %v", paths, want)
+		}
+	}
+
+	// Narrower patterns: a single directory and a subtree.
+	loader2, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = loader2.Load("./sub/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load(./sub/...) = %d packages, want 2", len(pkgs))
+	}
+
+	loader3, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = loader3.Load("example.test/sub/deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.test/sub/deep" {
+		t.Fatalf("Load(import path) = %v", pkgs)
+	}
+}
+
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.test\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package bad\n\nvar X int = \"not an int\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("./..."); err == nil || !strings.Contains(err.Error(), "type errors") {
+		t.Fatalf("Load on a package with type errors = %v, want type-error report", err)
+	}
+}

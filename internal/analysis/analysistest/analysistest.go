@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer against fixture packages under a
+// testdata directory and checks its diagnostics against golden
+// expectations written in the fixtures themselves:
+//
+//	s.n++ // want `read of a\.n without holding mu`
+//
+// Each `// want` comment holds one or more quoted regular expressions that
+// must match diagnostics reported on that line. Diagnostics with no
+// matching want, and wants with no matching diagnostic, fail the test —
+// so a fixture line carrying only a //lint:ignore directive doubles as the
+// suppressed-case test.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smoqe/internal/analysis"
+)
+
+// TestData returns the conventional fixture root: ./testdata relative to
+// the caller's package directory (the test binary's working directory).
+func TestData() string { return "testdata" }
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package (paths under dir/src), runs the analyzer,
+// and compares diagnostics against the `// want` comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewFixtureLoader(abs)
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	prog := analysis.NewProgram(loader.Fset, pkgs)
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := loader.Fset.Position(f.Pos()).Filename
+			wants = append(wants, collectWants(t, loader, f, filename)...)
+		}
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile("^want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+
+// collectWants parses the `// want "rx" ...` comments of one file.
+func collectWants(t *testing.T, loader *analysis.Loader, f *ast.File, filename string) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			m := wantRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			line := loader.Fset.Position(c.Pos()).Line
+			for _, q := range splitQuoted(m[1]) {
+				raw, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want expectation %s: %v", filename, line, q, err)
+				}
+				rx, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, raw, err)
+				}
+				out = append(out, &want{file: filename, line: line, rx: rx, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted splits a run of space-separated quoted strings, keeping the
+// quotes for strconv.Unquote.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '"':
+			end = 1
+			for end < len(s) && s[end] != '"' {
+				if s[end] == '\\' {
+					end++
+				}
+				end++
+			}
+		case '`':
+			end = 1 + strings.IndexByte(s[1:], '`')
+		default:
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

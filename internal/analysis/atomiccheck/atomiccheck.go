@@ -1,0 +1,105 @@
+// Package atomiccheck enforces all-or-nothing atomicity: once any code in
+// a package touches a variable or field through sync/atomic
+// (atomic.AddInt64(&s.hits, 1), atomic.LoadUint32(&ready), ...), every
+// other access to that same object must also go through sync/atomic. A
+// plain read racing an atomic write is still a data race, and it is
+// exactly the kind that slips through review because each access looks
+// fine in isolation.
+//
+// Fields of the modern wrapper types (sync/atomic.Int64 and friends) are
+// immune by construction and need no checking.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smoqe/internal/analysis"
+)
+
+// Analyzer is the atomiccheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "objects accessed via sync/atomic are never accessed plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: find every object whose address is passed to a sync/atomic
+	// function, and remember the identifiers of those blessed accesses.
+	atomicObjs := make(map[types.Object]bool)
+	blessed := make(map[*ast.Ident]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := addrOperand(arg); id != nil {
+					if obj := info.Uses[id]; obj != nil {
+						atomicObjs[obj] = true
+						blessed[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every remaining use of those objects.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || blessed[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addrOperand returns the identifier at the core of an &x or &x.y.z
+// argument, or nil.
+func addrOperand(arg ast.Expr) *ast.Ident {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			return sel.Sel
+		}
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}

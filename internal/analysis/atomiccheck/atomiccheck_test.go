@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomiccheck.Analyzer, "a")
+}

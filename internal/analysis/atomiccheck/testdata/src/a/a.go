@@ -1,0 +1,43 @@
+// Package a is an atomiccheck fixture.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	plain int64
+}
+
+var ready uint32
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) raced() int64 {
+	s.hits++      // want `plain access of hits, which is accessed with sync/atomic elsewhere`
+	return s.hits // want `plain access of hits, which is accessed with sync/atomic elsewhere`
+}
+
+// plain is never touched atomically, so ordinary access is fine.
+func (s *stats) onlyPlain() int64 {
+	s.plain++
+	return s.plain
+}
+
+func markReady() {
+	atomic.StoreUint32(&ready, 1)
+}
+
+func isReadyRaced() bool {
+	return ready == 1 // want `plain access of ready, which is accessed with sync/atomic elsewhere`
+}
+
+func isReadySuppressed() bool {
+	//lint:ignore atomiccheck read happens before any goroutine starts
+	return ready == 1
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxcheck.Analyzer, "a", "internal/server")
+}

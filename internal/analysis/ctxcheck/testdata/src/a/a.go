@@ -1,0 +1,39 @@
+// Package a is a ctxcheck fixture for the unrestricted rules.
+package a
+
+import "context"
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func forwards(ctx context.Context) error {
+	return callee(ctx)
+}
+
+func derives(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(child)
+}
+
+func drops(ctx context.Context) error {
+	return callee(context.Background()) // want `context\.Background\(\) passed to callee in a function that receives a ctx: forward ctx`
+}
+
+func todoDrops(ctx context.Context) error {
+	return callee(context.TODO()) // want `context\.TODO\(\) passed to callee in a function that receives a ctx: forward ctx`
+}
+
+func nilCtx(ctx context.Context) error {
+	return callee(nil) // want `nil context passed to callee: forward ctx`
+}
+
+// noCtx has no context parameter, so minting a root context is fine here.
+func noCtx() error {
+	return callee(context.Background())
+}
+
+func closureDrops(ctx context.Context) func() error {
+	return func() error {
+		return callee(context.Background()) // want `context\.Background\(\) passed to callee in a function that receives a ctx: forward ctx`
+	}
+}

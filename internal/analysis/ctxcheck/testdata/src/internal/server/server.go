@@ -1,0 +1,20 @@
+// Package server is a ctxcheck fixture for the restricted request-path
+// rule: inside internal/server, minting a root context in a function that
+// receives one is flagged even when it is only stored.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+func handle(ctx context.Context) context.Context {
+	fresh := context.Background() // want `context\.Background\(\) called in a function that receives a ctx: forward ctx instead of minting a root context`
+	_ = fresh
+	return ctx
+}
+
+func shutdown(ctx context.Context) (context.Context, context.CancelFunc) {
+	//lint:ignore ctxcheck shutdown must outlive the already-cancelled request ctx
+	return context.WithTimeout(context.Background(), time.Second)
+}

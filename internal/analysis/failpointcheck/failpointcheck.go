@@ -1,0 +1,158 @@
+// Package failpointcheck keeps the failpoint registry and its call sites
+// in sync across the whole program:
+//
+//   - every failpoint.Inject argument must be a constant string — and one
+//     declared in the registry manifest (the Site* constants of the
+//     failpoint package), so chaos specs in SMOQE_FAILPOINTS can never
+//     name a site that silently does not exist;
+//   - manifest constants must have unique string values (two names for
+//     one site means hit counts and specs silently alias);
+//   - a manifest constant no production code injects is dead and gets
+//     flagged, so the registry cannot drift from reality.
+//
+// Dead-site detection needs the call sites to be visible, so it only runs
+// when the analyzed program contains at least one package importing the
+// failpoint package; running smoqevet on the failpoint package alone does
+// not declare everything dead.
+package failpointcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"smoqe/internal/analysis"
+)
+
+// Analyzer is the failpointcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "failpointcheck",
+	Doc:        "failpoint.Inject sites are unique constants from the registry manifest",
+	RunProgram: run,
+}
+
+// manifestPkgName is the package whose Site* string constants form the
+// registry manifest.
+const manifestPkgName = "failpoint"
+
+func run(pass *analysis.Pass) error {
+	// Locate the manifest package and collect its Site* constants.
+	var manifestPkg *analysis.Package
+	for _, pkg := range pass.Program.Packages {
+		if pkg.Types.Name() == manifestPkgName {
+			manifestPkg = pkg
+			break
+		}
+	}
+	sites := make(map[string]*types.Const) // value -> first constant
+	injected := make(map[string]token.Pos) // value -> an Inject call site
+	if manifestPkg != nil {
+		collectManifest(pass, manifestPkg, sites)
+	}
+
+	haveImporter := false
+	for _, pkg := range pass.Program.Packages {
+		if pkg == manifestPkg {
+			continue
+		}
+		imports := false
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == manifestPkgName {
+				imports = true
+				break
+			}
+		}
+		if !imports {
+			continue
+		}
+		haveImporter = true
+		checkCalls(pass, pkg, sites, injected)
+	}
+
+	if manifestPkg != nil && haveImporter {
+		for value, c := range sites {
+			if _, ok := injected[value]; !ok {
+				pass.Reportf(c.Pos(), "dead failpoint site %s (%q) is never injected", c.Name(), value)
+			}
+		}
+	}
+	return nil
+}
+
+// collectManifest records the manifest package's Site* string constants,
+// flagging duplicate values.
+func collectManifest(pass *analysis.Pass, pkg *analysis.Package, sites map[string]*types.Const) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !isSiteConst(c) {
+						continue
+					}
+					value := constant.StringVal(c.Val())
+					if prev, dup := sites[value]; dup {
+						pass.Reportf(name.Pos(), "duplicate failpoint site %q (also declared as %s)", value, prev.Name())
+						continue
+					}
+					sites[value] = c
+				}
+			}
+		}
+	}
+}
+
+func isSiteConst(c *types.Const) bool {
+	if c.Val().Kind() != constant.String {
+		return false
+	}
+	name := c.Name()
+	return len(name) > len("Site") && name[:len("Site")] == "Site"
+}
+
+// checkCalls validates every failpoint.Inject call of pkg and records
+// which manifest sites are exercised.
+func checkCalls(pass *analysis.Pass, pkg *analysis.Package, sites map[string]*types.Const, injected map[string]token.Pos) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isInjectCall(pkg.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "failpoint site must be a constant string, not a computed value")
+				return true
+			}
+			value := constant.StringVal(tv.Value)
+			if len(sites) > 0 {
+				if _, ok := sites[value]; !ok {
+					pass.Reportf(arg.Pos(), "unknown failpoint site %q: not a Site* constant of the %s registry", value, manifestPkgName)
+					return true
+				}
+			}
+			injected[value] = arg.Pos()
+			return true
+		})
+	}
+}
+
+// isInjectCall reports whether call is failpoint.Inject(...).
+func isInjectCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Inject" && fn.Pkg() != nil && fn.Pkg().Name() == manifestPkgName
+}

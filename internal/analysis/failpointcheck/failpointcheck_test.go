@@ -1,0 +1,12 @@
+package failpointcheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/failpointcheck"
+)
+
+func TestFailpointcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), failpointcheck.Analyzer, "failpoint", "a")
+}

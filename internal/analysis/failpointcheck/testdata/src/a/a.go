@@ -1,0 +1,12 @@
+// Package a is a failpointcheck fixture exercising Inject call sites.
+package a
+
+import "failpoint"
+
+func do(name string) {
+	_ = failpoint.Inject(failpoint.SiteGood)
+	_ = failpoint.Inject("rogue.site") // want `unknown failpoint site "rogue\.site": not a Site\* constant of the failpoint registry`
+	_ = failpoint.Inject(name)         // want `failpoint site must be a constant string, not a computed value`
+	//lint:ignore failpointcheck test-only site armed by the chaos harness
+	_ = failpoint.Inject("chaos.extra")
+}

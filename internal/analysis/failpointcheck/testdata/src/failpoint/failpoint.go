@@ -1,0 +1,11 @@
+// Package failpoint is a registry-manifest stub for failpointcheck tests.
+package failpoint
+
+const (
+	SiteGood = "good.site"
+	SiteDead = "dead.site" // want `dead failpoint site SiteDead \("dead\.site"\) is never injected`
+	SiteDup  = "good.site" // want `duplicate failpoint site "good\.site" \(also declared as SiteGood\)`
+)
+
+// Inject fires the named site.
+func Inject(site string) error { _ = site; return nil }

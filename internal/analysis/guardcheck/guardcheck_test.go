@@ -1,0 +1,12 @@
+package guardcheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/guardcheck"
+)
+
+func TestGuardcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardcheck.Analyzer, "internal/hype")
+}

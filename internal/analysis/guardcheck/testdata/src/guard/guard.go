@@ -1,0 +1,15 @@
+// Package guard is a panic-recovery stub for guardcheck tests.
+package guard
+
+// Recover is the deferred recovery boundary.
+func Recover(site string, errp *error) {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// Protect runs f with a recovery boundary.
+func Protect(site string, f func() error) error {
+	defer func() { _ = recover() }()
+	return f()
+}

@@ -1,0 +1,66 @@
+// Package hype is a guardcheck fixture: every accepted goroutine shape,
+// one rejected one, and one suppressed one.
+package hype
+
+import "guard"
+
+func work() error { return nil }
+
+func runShard() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			_ = rec
+		}
+	}()
+	_ = work()
+}
+
+func naked() {
+	go func() { // want `goroutine without panic recovery: defer guard\.Recover, recover in a deferred closure, or run the body via guard\.Protect`
+		_ = work()
+	}()
+}
+
+func viaGuardRecover() {
+	go func() {
+		var err error
+		defer guard.Recover("hype.worker", &err)
+		err = work()
+	}()
+}
+
+func viaDeferredClosure() {
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				_ = rec
+			}
+		}()
+		_ = work()
+	}()
+}
+
+func viaWorkerCall() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			runShard()
+		}
+	}()
+}
+
+func viaNamedFunc() {
+	go runShard()
+}
+
+func viaProtect(errc chan<- error) {
+	go func() {
+		errc <- guard.Protect("hype.listen", work)
+	}()
+}
+
+func suppressed(done chan struct{}) {
+	//lint:ignore guardcheck test helper goroutine cannot panic
+	go func() {
+		close(done)
+	}()
+}

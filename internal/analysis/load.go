@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages using only the standard library.
+// Packages inside the module (import paths under ModulePath) are
+// type-checked from source in ModuleRoot; fixture packages resolve under
+// SrcDirs; everything else (the standard library) is delegated to the
+// go/importer source importer. Test files (_test.go) are never loaded: the
+// analyzers gate production invariants.
+type Loader struct {
+	Fset *token.FileSet
+	// ModulePath/ModuleRoot name the module whose import paths resolve to
+	// directories under the root ("" disables module resolution).
+	ModulePath string
+	ModuleRoot string
+	// SrcDirs are extra roots an import path may resolve under (used by
+	// analysistest fixtures: path "a" → dir SrcDirs[i]/a).
+	SrcDirs []string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir (dir or
+// one of its parents must hold a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.ModuleRoot, l.ModulePath = root, path
+	return l, nil
+}
+
+// NewFixtureLoader returns a loader that resolves import paths under the
+// given source roots only (plus the standard library) — the analysistest
+// harness uses this for testdata fixture packages.
+func NewFixtureLoader(srcDirs ...string) *Loader {
+	l := newLoader()
+	l.SrcDirs = srcDirs
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves patterns into parsed, type-checked packages. Patterns are
+// either directory-relative ("./...", "./internal/server", ".") against the
+// module root, or plain import paths resolvable within the module or the
+// fixture source dirs.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if l.ModuleRoot == "" {
+				return nil, fmt.Errorf("analysis: pattern %q needs a module root", pat)
+			}
+			dirs, err := walkPackageDirs(l.ModuleRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.dirImportPath(d))
+			}
+		case strings.HasSuffix(pat, "/..."):
+			if l.ModuleRoot == "" {
+				return nil, fmt.Errorf("analysis: pattern %q needs a module root", pat)
+			}
+			base := filepath.Join(l.ModuleRoot, strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/..."))
+			dirs, err := walkPackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(l.dirImportPath(d))
+			}
+		case pat == "." || strings.HasPrefix(pat, "./"):
+			if l.ModuleRoot == "" {
+				return nil, fmt.Errorf("analysis: pattern %q needs a module root", pat)
+			}
+			add(l.dirImportPath(filepath.Join(l.ModuleRoot, strings.TrimPrefix(pat, "./"))))
+		default:
+			add(pat)
+		}
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.loadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// dirImportPath maps a directory under the module root to its import path.
+func (l *Loader) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// walkPackageDirs returns every directory under root holding at least one
+// non-test .go file, skipping testdata, vendor and hidden directories.
+func walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// resolveDir maps an import path to the directory holding its sources, or
+// "" when the path is not module-internal / fixture-resolvable.
+func (l *Loader) resolveDir(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleRoot
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+		}
+	}
+	for _, src := range l.SrcDirs {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadPath loads the package at an import path (module-internal or fixture).
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := l.resolveDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: cannot resolve package %q", path)
+	}
+	return l.loadDir(dir, path)
+}
+
+// loadDir parses and type-checks the package in dir under import path.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, ignores: make(map[string][]ignoreDirective)}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		files = append(files, f)
+		dirs, derrs := parseIgnores(l.Fset, f)
+		if len(dirs) > 0 {
+			pkg.ignores[l.Fset.Position(f.Pos()).Filename] = dirs
+		}
+		pkg.directiveErrs = append(pkg.directiveErrs, derrs...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no buildable Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, e := range typeErrs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-3))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: %s: type errors:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	pkg.Files, pkg.Types, pkg.Info = files, tpkg, info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal and fixture
+// paths are type-checked from source by this loader; everything else falls
+// through to the standard library source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if dir := l.resolveDir(path); dir != "" {
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// NewProgram bundles loaded packages for a Run.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{Fset: fset, Packages: pkgs}
+}

@@ -1,0 +1,542 @@
+// Package lockcheck verifies mutex annotations: a struct field (or
+// package-level variable) annotated `// guarded by <mu>` must only be read
+// or written while that mutex is held. The check is intraprocedural and
+// flow-aware along straight-line code and branches:
+//
+//   - <base>.mu.Lock() / RLock() raise the lock state for accesses whose
+//     base expression renders identically (l.mu.Lock() guards l.buf, not
+//     other.buf); Unlock()/RUnlock() lower it; a deferred Unlock does not
+//     (it runs at function exit).
+//   - An RLock licenses reads only; writes need the full Lock.
+//   - A branch that terminates (return, panic, os.Exit, break/continue)
+//     does not leak its lock state past the branch, so the common
+//     "if hit { ...; mu.Unlock(); return }" shape checks cleanly.
+//   - A function whose doc comment says "Caller holds <expr>" (or "Caller
+//     must hold <expr>") is checked with that mutex pre-held — the
+//     convention for helpers called under an already-held lock.
+//   - Function literals run on their own goroutine/schedule, so their
+//     bodies start with no locks held.
+//
+// The analysis is a heuristic, not a proof: it does not follow calls, so a
+// helper that unlocks behind the caller's back is invisible. It exists to
+// catch the common regression — touching a guarded field on a new code
+// path without taking the lock.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"smoqe/internal/analysis"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated '// guarded by <mu>' are only accessed with the mutex held",
+	Run:  run,
+}
+
+var (
+	guardedRe     = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+	callerHoldsRe = regexp.MustCompile(`[Cc]aller (?:holds|must hold) ([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// held is the lock state of one mutex key ("l.mu", "mu"): how many write
+// and read locks the current path holds.
+type held struct{ w, r int }
+
+type lockState map[string]held
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps, per key, the weaker of the two states (fewer locks held) —
+// the sound join after a branch.
+func merge(a, b lockState) lockState {
+	out := make(lockState)
+	for k, va := range a {
+		vb := b[k]
+		out[k] = held{w: min(va.w, vb.w), r: min(va.r, vb.r)}
+	}
+	return out
+}
+
+// guardInfo describes one guarded object.
+type guardInfo struct {
+	mu       string // mutex name (field or package var)
+	pkgLevel bool   // true for package-level vars (key is just mu)
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]guardInfo
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, guarded: make(map[types.Object]guardInfo)}
+	for _, f := range pass.Pkg.Files {
+		c.collectAnnotations(f)
+	}
+	if len(c.guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			state := make(lockState)
+			for _, key := range callerHolds(fd.Doc) {
+				state[key] = held{w: 1}
+			}
+			c.walkStmts(fd.Body.List, state)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations records guarded struct fields and package vars.
+func (c *checker) collectAnnotations(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := annotationMu(field.Doc, field.Comment)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := c.pass.Pkg.Info.Defs[name]; obj != nil {
+							c.guarded[obj] = guardInfo{mu: mu}
+						}
+					}
+				}
+			}
+		case token.VAR:
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				mu := annotationMu(vs.Doc, vs.Comment)
+				if mu == "" && len(gd.Specs) == 1 {
+					mu = annotationMu(gd.Doc, nil)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := c.pass.Pkg.Info.Defs[name]; obj != nil {
+						c.guarded[obj] = guardInfo{mu: mu, pkgLevel: true}
+					}
+				}
+			}
+		}
+	}
+}
+
+// annotationMu extracts the mutex name from a "guarded by <mu>" comment;
+// only the last path component matters (the mutex lives beside the field).
+func annotationMu(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(g.Text()); m != nil {
+			name := strings.TrimSuffix(m[1], ".")
+			if i := strings.LastIndexByte(name, '.'); i >= 0 {
+				name = name[i+1:]
+			}
+			return name
+		}
+	}
+	return ""
+}
+
+// callerHolds extracts the pre-held mutex keys from a function's doc
+// comment ("Caller holds c.mu." → key "c.mu").
+func callerHolds(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var keys []string
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(doc.Text(), -1) {
+		keys = append(keys, strings.TrimSuffix(m[1], "."))
+	}
+	return keys
+}
+
+// walkStmts walks a statement list tracking lock state; it reports whether
+// the list always terminates (return/panic/branch) before falling through.
+func (c *checker) walkStmts(stmts []ast.Stmt, state lockState) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, state lockState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, delta, ok := lockCall(c.pass, s.X); ok {
+			c.applyDelta(state, key, delta)
+			return false
+		}
+		c.checkExpr(s.X, state, false)
+		return isTerminalCall(c.pass, s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, state, false)
+		}
+		for _, lhs := range s.Lhs {
+			c.checkWrite(lhs, state)
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(s.X, state)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, state, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, state, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, state)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.checkExpr(s.Cond, state, false)
+		thenState := state.clone()
+		thenTerm := c.walkStmts(s.Body.List, thenState)
+		elseState := state.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseState)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(state, elseState)
+		case elseTerm:
+			replace(state, thenState)
+		default:
+			replace(state, merge(thenState, elseState))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, state, false)
+		}
+		body := state.clone()
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+		// The loop may run zero times; keep the entry state.
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, state, false)
+		if s.Key != nil {
+			c.checkWrite(s.Key, state)
+		}
+		if s.Value != nil {
+			c.checkWrite(s.Value, state)
+		}
+		body := state.clone()
+		c.walkStmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, state, false)
+		}
+		return c.walkClauses(s.Body, state, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.walkStmt(s.Assign, state)
+		return c.walkClauses(s.Body, state, false)
+	case *ast.SelectStmt:
+		return c.walkClauses(s.Body, state, true)
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at exit — no state change here. A deferred
+		// closure runs at exit too, with unknown lock state: check it cold.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkFuncLit(lit)
+			return false
+		}
+		if _, _, ok := lockCall(c.pass, s.Call); ok {
+			return false
+		}
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, state, false)
+		}
+	case *ast.GoStmt:
+		// A goroutine runs concurrently: no inherited lock state.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkFuncLit(lit)
+			return false
+		}
+		c.checkExpr(s.Call, state, false)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, state, false)
+		c.checkExpr(s.Value, state, false)
+	}
+	return false
+}
+
+// walkClauses walks the case clauses of a switch/select body. The result
+// state is the entry state (a clause may not run); the construct
+// terminates only if every clause terminates and one always runs.
+func (c *checker) walkClauses(body *ast.BlockStmt, state lockState, isSelect bool) bool {
+	allTerm := true
+	hasDefault := false
+	n := 0
+	for _, cl := range body.List {
+		n++
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkExpr(e, state, false)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			cs := state.clone()
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(cl.Comm, cs)
+			}
+			if !c.walkStmts(cl.Body, cs) {
+				allTerm = false
+			}
+			continue
+		}
+		cs := state.clone()
+		if !c.walkStmts(stmts, cs) {
+			allTerm = false
+		}
+	}
+	return n > 0 && allTerm && (isSelect || hasDefault)
+}
+
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func (c *checker) applyDelta(state lockState, key string, delta held) {
+	h := state[key]
+	h.w += delta.w
+	h.r += delta.r
+	if h.w < 0 {
+		h.w = 0
+	}
+	if h.r < 0 {
+		h.r = 0
+	}
+	state[key] = h
+}
+
+// lockCall recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a sync mutex
+// and returns the lock key (the rendering of <expr>) and the state delta.
+func lockCall(pass *analysis.Pass, e ast.Expr) (key string, delta held, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", held{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", held{}, false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", held{}, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		delta = held{w: 1}
+	case "Unlock":
+		delta = held{w: -1}
+	case "RLock":
+		delta = held{r: 1}
+	case "RUnlock":
+		delta = held{r: -1}
+	default:
+		return "", held{}, false
+	}
+	return types.ExprString(sel.X), delta, true
+}
+
+// isTerminalCall reports whether the expression statement never returns:
+// panic(...) or os.Exit/log.Fatal*.
+func isTerminalCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit",
+				fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkWrite checks an assignment target: the top-level object (selector
+// or identifier) is a write access; index/nested expressions are reads.
+func (c *checker) checkWrite(lhs ast.Expr, state lockState) {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		c.verifyAccess(l, l.Sel, l.X, state, true)
+		c.checkExpr(l.X, state, false)
+	case *ast.Ident:
+		c.verifyAccess(l, l, nil, state, true)
+	case *ast.IndexExpr:
+		c.checkWrite(l.X, state) // writing m[k] mutates m
+		c.checkExpr(l.Index, state, false)
+	case *ast.StarExpr:
+		c.checkExpr(l.X, state, false)
+	case *ast.ParenExpr:
+		c.checkWrite(l.X, state)
+	default:
+		c.checkExpr(lhs, state, false)
+	}
+}
+
+// checkExpr checks all guarded accesses inside e as reads (writes go
+// through checkWrite). Function literals are checked cold: they may run on
+// another goroutine or after the locks are released.
+func (c *checker) checkExpr(e ast.Expr, state lockState, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkFuncLit(n)
+			return false
+		case *ast.SelectorExpr:
+			c.verifyAccess(n, n.Sel, n.X, state, write)
+			c.checkExpr(n.X, state, false)
+			return false
+		case *ast.UnaryExpr:
+			// Taking a guarded field's address lets it escape the critical
+			// section; require the write lock.
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					c.verifyAccess(sel, sel.Sel, sel.X, state, true)
+					c.checkExpr(sel.X, state, false)
+					return false
+				}
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					c.verifyAccess(id, id, nil, state, true)
+					return false
+				}
+			}
+		case *ast.Ident:
+			c.verifyAccess(n, n, nil, state, false)
+		}
+		return true
+	})
+}
+
+// walkFuncLit checks a function literal's body with no locks held.
+func (c *checker) walkFuncLit(lit *ast.FuncLit) {
+	if lit.Body != nil {
+		c.walkStmts(lit.Body.List, make(lockState))
+	}
+}
+
+// verifyAccess reports a diagnostic if node accesses a guarded object
+// without the required lock. base is the selector base (nil for bare
+// identifiers / package vars).
+func (c *checker) verifyAccess(node ast.Node, name *ast.Ident, base ast.Expr, state lockState, write bool) {
+	obj := c.pass.Pkg.Info.Uses[name]
+	if obj == nil {
+		return
+	}
+	gi, ok := c.guarded[obj]
+	if !ok {
+		return
+	}
+	var key, what string
+	if gi.pkgLevel {
+		key = gi.mu
+		what = name.Name
+	} else {
+		if base == nil {
+			return // promoted/embedded access without a base; out of scope
+		}
+		key = types.ExprString(base) + "." + gi.mu
+		what = types.ExprString(base) + "." + name.Name
+	}
+	h := state[key]
+	if h.w > 0 || (!write && h.r > 0) {
+		return
+	}
+	verb := "read"
+	if write {
+		verb = "write"
+	}
+	c.pass.Reportf(node.Pos(), "%s of %s without holding %s", verb, what, key)
+}

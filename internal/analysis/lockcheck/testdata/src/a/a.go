@@ -1,0 +1,85 @@
+// Package a is a lockcheck fixture.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type stats struct {
+	mu    sync.RWMutex
+	reads int // guarded by mu
+}
+
+var (
+	pkgMu sync.Mutex
+	// pkgTotal is guarded by pkgMu.
+	pkgTotal int
+)
+
+func (c *counter) bad() int {
+	c.n++      // want `write of c\.n without holding c\.mu`
+	return c.n // want `read of c\.n without holding c\.mu`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// earlyReturn exercises the unlock-inside-if shape: the terminated branch
+// must not poison the lock state of the fallthrough path.
+func (c *counter) earlyReturn(hit bool) int {
+	c.mu.Lock()
+	if hit {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.n++
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// locked is called with the lock already held.
+// Caller holds c.mu.
+func (c *counter) locked() int {
+	return c.n
+}
+
+func (s *stats) rlockRead() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads
+}
+
+func (s *stats) rlockWrite() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.reads++ // want `write of s\.reads without holding s\.mu`
+}
+
+func (c *counter) goroutineLeak() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write of c\.n without holding c\.mu`
+	}()
+}
+
+func bumpPkg() {
+	pkgMu.Lock()
+	pkgTotal++
+	pkgMu.Unlock()
+	pkgTotal++ // want `write of pkgTotal without holding pkgMu`
+}
+
+func suppressedAccess(c *counter) int {
+	//lint:ignore lockcheck single-goroutine setup path, no readers yet
+	return c.n
+}

@@ -1,0 +1,12 @@
+package metriccheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/metriccheck"
+)
+
+func TestMetriccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metriccheck.Analyzer, "a")
+}

@@ -1,0 +1,29 @@
+// Package drv is a fixture for the driver tests: ignore directives in
+// every flavor, including a malformed one.
+package drv
+
+func a() int { return 1 }
+
+func b() int {
+	//lint:ignore testcheck covered by the setup path
+	return a()
+}
+
+func c() int {
+	return a() //lint:ignore testcheck trailing directive on the same line
+}
+
+func d() int {
+	//lint:ignore othercheck directive for a different analyzer
+	return a()
+}
+
+func e() int {
+	//lint:ignore * wildcard covers every analyzer
+	return a()
+}
+
+func f() int {
+	//lint:ignore testcheck
+	return a()
+}

@@ -87,9 +87,11 @@ type rule struct {
 }
 
 var (
-	mu    sync.RWMutex
+	mu sync.RWMutex
+	// rules is guarded by mu.
 	rules = map[string]rule{}
-	hits  = map[string]*atomic.Int64{}
+	// hits is guarded by mu (the per-site counters themselves are atomic).
+	hits = map[string]*atomic.Int64{}
 	// armed caches len(rules) so an unarmed Inject is one atomic load.
 	armed atomic.Int32
 )
@@ -100,13 +102,13 @@ func Enable(site, spec string) error {
 	if site == "" {
 		return fmt.Errorf("failpoint: empty site name")
 	}
-	r, err := parseRule(spec)
+	pr, err := Parse(spec)
 	if err != nil {
 		return err
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	rules[site] = r
+	rules[site] = rule{mode: pr.Mode, sleep: pr.Sleep, prob: pr.Prob, spec: spec}
 	if hits[site] == nil {
 		hits[site] = &atomic.Int64{}
 	}
@@ -220,33 +222,83 @@ func Inject(site string) error {
 	}
 }
 
-// parseRule parses "mode[:argument][@probability]".
-func parseRule(spec string) (rule, error) {
-	r := rule{prob: 1, spec: spec}
+// Rule is the parsed form of one failpoint spec: what an armed site does
+// and how often it fires.
+type Rule struct {
+	Mode  Mode
+	Sleep time.Duration // ModeSleep only
+	Prob  float64       // (0, 1]; 1 fires on every call
+}
+
+// ParseError is the typed rejection Parse returns for a malformed spec;
+// it names the spec and the first rule it violates.
+type ParseError struct {
+	Spec   string
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("failpoint: bad spec %q: %s", e.Spec, e.Reason)
+}
+
+// Parse parses "mode[:argument][@probability]" (the grammar in the package
+// comment) into a Rule. Malformed specs — unknown or empty mode, stray
+// arguments, whitespace, repeated '@', probabilities outside (0, 1]
+// (including NaN) — are rejected with a *ParseError; nothing is accepted
+// silently, because a failpoint that does not mean what its spec says
+// invalidates the chaos test that armed it.
+func Parse(spec string) (Rule, error) {
+	fail := func(reason string) (Rule, error) {
+		return Rule{}, &ParseError{Spec: spec, Reason: reason}
+	}
+	if spec == "" {
+		return fail("empty spec")
+	}
+	if strings.ContainsAny(spec, " \t\r\n") {
+		return fail("whitespace in spec")
+	}
+	r := Rule{Prob: 1}
 	body := spec
-	if at := strings.LastIndex(spec, "@"); at >= 0 {
-		p, err := strconv.ParseFloat(spec[at+1:], 64)
-		if err != nil || p <= 0 || p > 1 {
-			return rule{}, fmt.Errorf("failpoint: bad probability in %q (want 0 < p <= 1)", spec)
+	if at := strings.Index(spec, "@"); at >= 0 {
+		frac := spec[at+1:]
+		if strings.Contains(frac, "@") {
+			return fail("more than one '@'")
 		}
-		r.prob = p
+		p, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return fail(fmt.Sprintf("unparsable probability %q", frac))
+		}
+		// The negated form is NaN-proof: every comparison with NaN is false.
+		if !(p > 0 && p <= 1) {
+			return fail("probability must satisfy 0 < p <= 1")
+		}
+		r.Prob = p
 		body = spec[:at]
 	}
 	mode, arg, hasArg := strings.Cut(body, ":")
+	if mode == "" {
+		return fail("empty mode")
+	}
 	switch Mode(mode) {
 	case ModeError, ModePanic:
 		if hasArg {
-			return rule{}, fmt.Errorf("failpoint: mode %q takes no argument (got %q)", mode, spec)
+			return fail(fmt.Sprintf("mode %q takes no argument", mode))
 		}
-		r.mode = Mode(mode)
+		r.Mode = Mode(mode)
 	case ModeSleep:
-		d, err := time.ParseDuration(arg)
-		if !hasArg || err != nil || d < 0 {
-			return rule{}, fmt.Errorf("failpoint: sleep needs a duration, e.g. sleep:50ms (got %q)", spec)
+		if !hasArg || arg == "" {
+			return fail("sleep needs a duration, e.g. sleep:50ms")
 		}
-		r.mode, r.sleep = ModeSleep, d
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fail(fmt.Sprintf("bad sleep duration %q", arg))
+		}
+		if d < 0 {
+			return fail("negative sleep duration")
+		}
+		r.Mode, r.Sleep = ModeSleep, d
 	default:
-		return rule{}, fmt.Errorf("failpoint: unknown mode %q (want error, panic or sleep:<dur>)", mode)
+		return fail(fmt.Sprintf("unknown mode %q (want error, panic or sleep:<dur>)", mode))
 	}
 	return r, nil
 }

@@ -2,6 +2,7 @@ package failpoint
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -144,5 +145,85 @@ func TestBadSpecs(t *testing.T) {
 	}
 	if _, err := ArmSpec("s=badmode"); err == nil {
 		t.Error("ArmSpec with bad mode accepted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	valid := []struct {
+		spec string
+		want Rule
+	}{
+		{"error", Rule{Mode: ModeError, Prob: 1}},
+		{"panic", Rule{Mode: ModePanic, Prob: 1}},
+		{"sleep:50ms", Rule{Mode: ModeSleep, Sleep: 50 * time.Millisecond, Prob: 1}},
+		{"error@0.1", Rule{Mode: ModeError, Prob: 0.1}},
+		{"error@1", Rule{Mode: ModeError, Prob: 1}},
+		{"sleep:1s@0.5", Rule{Mode: ModeSleep, Sleep: time.Second, Prob: 0.5}},
+	}
+	for _, tc := range valid {
+		got, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q) = %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+
+	invalid := []struct {
+		spec   string
+		reason string // substring the *ParseError.Reason must contain
+	}{
+		{"", "empty spec"},
+		{"@0.5", "empty mode"},
+		{":50ms", "empty mode"},
+		{"explode", "unknown mode"},
+		{"error:arg", "takes no argument"},
+		{"panic:arg", "takes no argument"},
+		{"sleep", "needs a duration"},
+		{"sleep:", "needs a duration"},
+		{"sleep:notadur", "bad sleep duration"},
+		{"sleep:-5ms", "negative sleep duration"},
+		{"error@0", "0 < p <= 1"},
+		{"error@-0.5", "0 < p <= 1"},
+		{"error@1.5", "0 < p <= 1"},
+		{"error@NaN", "0 < p <= 1"},
+		{"error@+Inf", "0 < p <= 1"},
+		{"error@nope", "unparsable probability"},
+		{"error@0.5@0.2", "more than one '@'"},
+		{"error ", "whitespace"},
+		{" error", "whitespace"},
+		{"sleep:50 ms", "whitespace"},
+		{"error\t@0.5", "whitespace"},
+	}
+	for _, tc := range invalid {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.spec)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T, want *ParseError", tc.spec, err)
+			continue
+		}
+		if pe.Spec != tc.spec || !strings.Contains(pe.Reason, tc.reason) {
+			t.Errorf("Parse(%q) = %v, want reason containing %q", tc.spec, err, tc.reason)
+		}
+	}
+}
+
+// TestEnableRejectsNaNProbability pins the regression Parse fixed: the old
+// parser's `p <= 0 || p > 1` range check was false for NaN on both sides,
+// so error@NaN armed a rule whose probability comparison in Inject was
+// also always false — the site silently fired on every call.
+func TestEnableRejectsNaNProbability(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "error@NaN"); err == nil {
+		t.Fatal("Enable accepted a NaN probability")
+	}
+	if err := Inject("s"); err != nil {
+		t.Fatalf("site armed despite rejected spec: %v", err)
 	}
 }

@@ -47,3 +47,14 @@ func Recover(site string, errp *error) {
 		*errp = Recovered(site, r)
 	}
 }
+
+// Protect runs f with a recovery boundary: a panic inside f becomes the
+// returned *PanicError instead of unwinding into the caller's goroutine.
+// It is the wrapper for fire-and-forget goroutines that report through an
+// error channel:
+//
+//	go func() { errc <- guard.Protect("site", f) }()
+func Protect(site string, f func() error) (err error) {
+	defer Recover(site, &err)
+	return f()
+}

@@ -54,3 +54,32 @@ func TestRecoverNoPanicLeavesErrorAlone(t *testing.T) {
 		t.Errorf("err = %v, want sentinel", err)
 	}
 }
+
+func TestProtectConvertsPanic(t *testing.T) {
+	err := Protect("listen", func() error { panic("accept exploded") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Site != "listen" || pe.Value != "accept exploded" {
+		t.Fatalf("err = %v, want *PanicError at listen", err)
+	}
+}
+
+func TestProtectPassesThroughResults(t *testing.T) {
+	if err := Protect("site", func() error { return nil }); err != nil {
+		t.Errorf("nil result: err = %v", err)
+	}
+	sentinel := errors.New("normal failure")
+	if err := Protect("site", func() error { return sentinel }); err != sentinel {
+		t.Errorf("error result: err = %v, want sentinel", err)
+	}
+}
+
+// TestProtectOnGoroutine is the shape http.Serve uses: the panic must
+// arrive on the channel as an error, never unwind the goroutine.
+func TestProtectOnGoroutine(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() { errc <- Protect("http.listen", func() error { panic(42) }) }()
+	var pe *PanicError
+	if err := <-errc; !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("err = %v, want *PanicError with value 42", err)
+	}
+}

@@ -50,7 +50,7 @@ type breakerGroup struct {
 	onTransition func(view, state string)
 
 	mu sync.Mutex
-	m  map[string]*breaker
+	m  map[string]*breaker // guarded by mu
 }
 
 type breaker struct {

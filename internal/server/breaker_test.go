@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenAdmitsExactlyOneProbe races a pack of requests
+// against a breaker whose cooldown just expired: exactly one caller may
+// be admitted as the half-open probe, everyone else is rejected until the
+// probe's record() decides the breaker's fate. Run under -race this also
+// checks the allow/record paths for data races.
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var nowMu sync.Mutex
+	g := newBreakerGroup(1, time.Minute)
+	g.now = func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+
+	// Trip the breaker, then let the cooldown expire.
+	g.record("v", true)
+	if ok, _ := g.allow("v"); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	nowMu.Lock()
+	now = now.Add(time.Minute + time.Second)
+	nowMu.Unlock()
+
+	const callers = 32
+	var (
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		admitted sync.Map
+		count    int64
+		countMu  sync.Mutex
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			if ok, _ := g.allow("v"); ok {
+				admitted.Store(id, true)
+				countMu.Lock()
+				count++
+				countMu.Unlock()
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	countMu.Lock()
+	got := count
+	countMu.Unlock()
+	if got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// A successful probe closes the breaker; the next wave all passes.
+	g.record("v", false)
+	for i := 0; i < 4; i++ {
+		if ok, _ := g.allow("v"); !ok {
+			t.Fatal("closed breaker rejected a request after a successful probe")
+		}
+	}
+
+	// And a failed probe re-opens it for a fresh cooldown.
+	g.record("v", true) // trips again (threshold 1, closed state)
+	nowMu.Lock()
+	now = now.Add(time.Minute + time.Second)
+	nowMu.Unlock()
+	if ok, _ := g.allow("v"); !ok {
+		t.Fatal("cooldown expired but probe rejected")
+	}
+	g.record("v", true) // probe fails: back to open
+	if ok, retry := g.allow("v"); ok || retry <= 0 {
+		t.Fatalf("re-opened breaker: allow = %v retry = %v", ok, retry)
+	}
+}

@@ -48,14 +48,16 @@ type CacheStats struct {
 // only one runs the parse/rewrite/compile pipeline and the others wait for
 // its result. Safe for concurrent use.
 type PlanCache struct {
-	mu        sync.Mutex
-	capacity  int
-	ll        *list.List // front = most recently used
-	entries   map[PlanKey]*list.Element
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // guarded by mu; front = most recently used
+	// entries is guarded by mu.
+	entries map[PlanKey]*list.Element
+	// building is guarded by mu.
 	building  map[PlanKey]*buildCall
-	hits      int64
-	misses    int64
-	evictions int64
+	hits      int64 // guarded by mu
+	misses    int64 // guarded by mu
+	evictions int64 // guarded by mu
 }
 
 type cacheEntry struct {

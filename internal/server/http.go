@@ -114,12 +114,18 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 		IdleTimeout:       posDur(s.cfg.IdleTimeout),
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	// Panic isolation: a panic out of the listener (a broken Accept, a
+	// poisoned TLS config) must surface on errc as a *PanicError, not kill
+	// the daemon bypassing the graceful-shutdown path below.
+	go func() { errc <- guard.Protect("http.listen", srv.ListenAndServe) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	// At this point ctx is already done — deriving the drain deadline from
+	// it would cancel the drain immediately. The fresh root is deliberate.
+	//lint:ignore ctxcheck shutdown must outlive the already-cancelled request ctx
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	return srv.Shutdown(shutdownCtx)

@@ -48,11 +48,13 @@ type ViewEntry struct {
 // Registry holds the documents and views the server can answer queries
 // against. All methods are safe for concurrent use.
 type Registry struct {
-	mu    sync.RWMutex
-	docs  map[string]*DocEntry
+	mu sync.RWMutex
+	// docs is guarded by mu.
+	docs map[string]*DocEntry
+	// views is guarded by mu.
 	views map[string]*ViewEntry
 	// lim bounds documents registered from XML text (see SetParseLimits);
-	// the zero value accepts everything.
+	// the zero value accepts everything. guarded by mu.
 	lim smoqe.ParseLimits
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -297,5 +298,31 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after context cancellation")
+	}
+}
+
+// TestServeListenerErrorSurfaces pins the guard.Protect wiring around the
+// listener goroutine: a ListenAndServe failure must come back through
+// Serve as an ordinary error (and a panic as a *PanicError), never unwind
+// the goroutine past the error channel.
+func TestServeListenerErrorSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	s := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln.Addr().String(), time.Second) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve on an occupied address returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not surface the listener error")
 	}
 }

@@ -35,10 +35,10 @@ type SlowQuery struct {
 type SlowLog struct {
 	mu        sync.Mutex
 	threshold time.Duration
-	buf       []SlowQuery // len(buf) == capacity always
-	size      int         // occupied slots, <= len(buf)
-	next      int         // ring write position
-	total     int64       // lifetime slow-query count
+	buf       []SlowQuery // guarded by mu; len(buf) == capacity always
+	size      int         // guarded by mu; occupied slots, <= len(buf)
+	next      int         // guarded by mu; ring write position
+	total     int64       // guarded by mu; lifetime slow-query count
 }
 
 // NewSlowLog returns a log keeping up to capacity entries (minimum 1) of

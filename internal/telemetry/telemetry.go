@@ -158,9 +158,10 @@ type family struct {
 // Registry holds metric families and renders them in Prometheus text
 // format. The zero value is not usable; call New.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// families is guarded by mu.
 	families map[string]*family
-	names    []string // family names in first-registration order
+	names    []string // guarded by mu; family names in first-registration order
 }
 
 // New returns an empty registry.
@@ -168,6 +169,8 @@ func New() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// family returns (creating if needed) the family for name, panicking on a
+// kind mismatch. Caller holds r.mu.
 func (r *Registry) family(name, help string, kind metricKind) *family {
 	f, ok := r.families[name]
 	if !ok {

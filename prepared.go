@@ -64,7 +64,7 @@ type PreparedQuery struct {
 	// the map is tiny — one entry per distinct document the query has been
 	// evaluated against with indexing on.
 	mu  sync.Mutex
-	opt map[*Index]*enginePool
+	opt map[*Index]*enginePool // guarded by mu
 
 	evals   atomic.Int64
 	visited atomic.Int64
