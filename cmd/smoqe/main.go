@@ -6,7 +6,9 @@
 //
 // Usage:
 //
-//	smoqe eval -query Q -doc FILE [-engine hype|opthype|opthype-c|ref|twopass] [-stats] [-parallel N]
+//	smoqe eval -query Q -doc FILE [-engine hype|opthype|opthype-c|columnar|ref|twopass] [-stats] [-parallel N]
+//	smoqe snapshot save -doc FILE [-o FILE.smoqe-snapshot]
+//	smoqe snapshot load -in FILE.smoqe-snapshot [-o FILE.xml]
 //	smoqe rewrite -query Q -view SPEC -docdtd FILE -viewdtd FILE [-print]
 //	smoqe explain -query Q [-view SPEC -docdtd FILE -viewdtd FILE] [-doc FILE] [-print] [-dot FILE] [-trace N]
 //	smoqe answer -query Q -view SPEC -docdtd FILE -viewdtd FILE -doc FILE
@@ -47,6 +49,8 @@ func main() {
 		err = cmdDerive(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -72,7 +76,8 @@ commands:
   materialize  materialize a view document
   batch        answer many queries in ONE document pass (optionally via a view)
   derive       derive a security view (view DTD + spec) from an access policy
-  validate     validate a document against a DTD`)
+  validate     validate a document against a DTD
+  snapshot     save/load the columnar binary snapshot of a document`)
 }
 
 func loadDoc(path string) (*smoqe.Document, error) {
@@ -113,7 +118,7 @@ func cmdEval(args []string) error {
 	qsrc := fs.String("query", "", "regular XPath query")
 	mfaPath := fs.String("mfa", "", "precompiled automaton file (from rewrite -o); replaces -query")
 	docPath := fs.String("doc", "", "XML document file")
-	engine := fs.String("engine", "hype", "hype | opthype | opthype-c | ref | twopass")
+	engine := fs.String("engine", "hype", "hype | opthype | opthype-c | columnar | ref | twopass")
 	stats := fs.Bool("stats", false, "print evaluation statistics")
 	showPaths := fs.Bool("paths", false, "print node paths instead of a count")
 	parallel := fs.Int("parallel", 0, "shard-parallel workers (automaton engines only; 0 = sequential, -1 = GOMAXPROCS)")
@@ -149,13 +154,62 @@ func cmdEval(args []string) error {
 		}
 		q = parsed
 	}
-	doc, err := loadDoc(*docPath)
-	if err != nil {
-		return err
+	// A -doc ending in the snapshot extension is loaded in O(read) from its
+	// columnar form; pointer engines then evaluate the materialized tree.
+	var doc *smoqe.Document
+	var cd *smoqe.ColumnarDocument
+	if strings.HasSuffix(*docPath, smoqe.SnapshotFileExt) {
+		loaded, err := smoqe.LoadSnapshot(*docPath)
+		if err != nil {
+			return err
+		}
+		cd = loaded
+		doc = cd.Tree()
+	} else {
+		parsed, err := loadDoc(*docPath)
+		if err != nil {
+			return err
+		}
+		doc = parsed
 	}
+	var err error
 	var nodes []*smoqe.Node
 	var eng *smoqe.Engine
+	var colStats *smoqe.EngineStats
 	switch *engine {
+	case "columnar":
+		if *parallel != 0 && *parallel != 1 {
+			return fmt.Errorf("eval: -parallel is not supported by the columnar engine (the pass is sequential)")
+		}
+		m := precompiled
+		if m == nil {
+			compiled, err := smoqe.Compile(q)
+			if err != nil {
+				return err
+			}
+			m = compiled
+		}
+		if cd == nil {
+			cd = smoqe.BuildColumnar(doc)
+		}
+		p := smoqe.PrepareMFA(m)
+		p.SetLimits(limits)
+		ids, st, err := p.EvalColumnarCtx(context.Background(), cd)
+		if err != nil {
+			return err
+		}
+		colStats = &st
+		// Map preorder ids back to nodes so -paths prints like every other
+		// engine.
+		byID := make([]*smoqe.Node, 0, doc.NumNodes())
+		doc.Walk(func(n *smoqe.Node) bool {
+			byID = append(byID, n)
+			return true
+		})
+		nodes = make([]*smoqe.Node, len(ids))
+		for i, id := range ids {
+			nodes[i] = byID[id]
+		}
 	case "hype", "opthype", "opthype-c":
 		m := precompiled
 		if m == nil {
@@ -196,24 +250,24 @@ func cmdEval(args []string) error {
 		}
 	case "ref":
 		if q == nil {
-			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		if *parallel != 0 && *parallel != 1 {
-			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		if limits != (smoqe.EvalLimits{}) {
-			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		nodes = smoqe.EvalReference(q, doc.Root)
 	case "twopass":
 		if q == nil {
-			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -mfa requires an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		if *parallel != 0 && *parallel != 1 {
-			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -parallel requires an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		if limits != (smoqe.EvalLimits{}) {
-			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c)")
+			return fmt.Errorf("eval: -max-visited/-max-results require an automaton engine (hype, opthype, opthype-c, columnar)")
 		}
 		nodes, err = smoqe.EvalTwoPass(q, doc.Root)
 		if err != nil {
@@ -228,8 +282,13 @@ func cmdEval(args []string) error {
 			fmt.Println(" ", n.Path())
 		}
 	}
-	if *stats && eng != nil {
-		st := eng.Stats()
+	if *stats && (eng != nil || colStats != nil) {
+		var st smoqe.EngineStats
+		if colStats != nil {
+			st = *colStats
+		} else {
+			st = eng.Stats()
+		}
 		total := doc.ComputeStats().Elements
 		fmt.Printf("visited %d of %d elements (%.1f%% pruned), skipped %d subtrees, cans: %d vertices / %d edges, AFA evals: %d\n",
 			st.VisitedElements, total, 100*st.PruneRate(total),
@@ -548,5 +607,83 @@ func cmdValidate(args []string) error {
 	}
 	st := doc.ComputeStats()
 	fmt.Printf("valid: %d elements, %d text nodes, depth %d\n", st.Elements, st.Texts, st.MaxDepth)
+	return nil
+}
+
+// cmdSnapshot converts between XML documents and columnar binary
+// snapshots: "save" parses a document once and writes the snapshot a
+// daemon (smoqed -snapshot-dir) or later eval loads in O(read); "load"
+// verifies a snapshot and reports its shape (optionally writing the
+// round-tripped XML).
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("snapshot: want 'save' or 'load'")
+	}
+	switch args[0] {
+	case "save":
+		return cmdSnapshotSave(args[1:])
+	case "load":
+		return cmdSnapshotLoad(args[1:])
+	default:
+		return fmt.Errorf("snapshot: unknown subcommand %q (want 'save' or 'load')", args[0])
+	}
+}
+
+func cmdSnapshotSave(args []string) error {
+	fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
+	docPath := fs.String("doc", "", "XML document file")
+	out := fs.String("o", "", "output snapshot file (default: -doc with its extension replaced)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *docPath == "" {
+		return fmt.Errorf("snapshot save: -doc is required")
+	}
+	doc, err := loadDoc(*docPath)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(*docPath, ".xml") + smoqe.SnapshotFileExt
+	}
+	cd := smoqe.BuildColumnar(doc)
+	if err := smoqe.SaveSnapshot(cd, path); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d labels, %d arena bytes → %d file bytes\n",
+		path, cd.NumNodes(), cd.NumLabels(), cd.ArenaSize(), info.Size())
+	return nil
+}
+
+func cmdSnapshotLoad(args []string) error {
+	fs := flag.NewFlagSet("snapshot load", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file")
+	out := fs.String("o", "", "write the round-tripped XML document here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("snapshot load: -in is required")
+	}
+	cd, err := smoqe.LoadSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	st := cd.Stats()
+	fmt.Printf("loaded %s: %d elements, %d text nodes, depth %d, %d labels, %d arena bytes\n",
+		*in, st.Elements, st.Texts, st.MaxDepth, cd.NumLabels(), cd.ArenaSize())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return cd.Tree().WriteXML(f, true)
+	}
 	return nil
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	smoqed [-addr :8640] [-cache 256] [-timeout 30s]
-//	       [-doc name=file.xml ...]
+//	       [-doc name=file.xml ...] [-snapshot-dir DIR]
 //	       [-view name=spec.view,source.dtd,target.dtd ...]
 //	       [-sample] [-pprof] [-slow-threshold 250ms] [-slowlog 128]
 //	       [-parallelism 0] [-max-concurrent 4×GOMAXPROCS] [-queue-wait 100ms]
@@ -70,6 +70,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout (0 = default timeout+30s, negative disables)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP idle connection timeout (0 = default 2m, negative disables)")
 
+	snapshotDir := flag.String("snapshot-dir", "", "load every *"+smoqe.SnapshotFileExt+" file in this directory as a document at startup")
+
 	var docFlags, viewFlags multiFlag
 	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
 	flag.Var(&viewFlags, "view", "register a view at startup: name=spec.view,source.dtd,target.dtd (repeatable)")
@@ -125,6 +127,13 @@ func main() {
 			log.Fatalf("smoqed: -doc %s: %v", name, err)
 		}
 		log.Printf("registered document %q (%d elements)", name, entry.Stats.Elements)
+	}
+	if *snapshotDir != "" {
+		n, err := srv.LoadSnapshotDir(*snapshotDir)
+		if err != nil {
+			log.Fatalf("smoqed: -snapshot-dir %s: %v", *snapshotDir, err)
+		}
+		log.Printf("loaded %d snapshot(s) from %s", n, *snapshotDir)
 	}
 	for _, spec := range viewFlags {
 		name, rest, ok := strings.Cut(spec, "=")

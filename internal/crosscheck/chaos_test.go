@@ -71,11 +71,17 @@ func chaosQueries() []server.QueryRequest {
 		{Doc: "corpus", Query: "//diagnosis", Parallelism: 2},
 		{Doc: "corpus", Query: "department/patient[visit]/pname", Parallelism: 2},
 		{Doc: "corpus", Query: "//patient[visit/treatment/medication/diagnosis/text()='heart disease']", Parallelism: 2},
+		// Columnar evaluations ride the same golden comparison: their
+		// responses must be byte-identical to a clean run too (and, modulo
+		// the engine label, to the pointer path — same IDs, same stats).
+		{Doc: "hospital", Query: "//diagnosis", Engine: server.EngineColumnar},
+		{Doc: "corpus", Query: "department/patient[visit]/pname", Engine: server.EngineColumnar},
+		{Doc: "corpus", View: "sigma0", Query: hospital.QExample11, Engine: server.EngineColumnar},
 	}
 }
 
 func queryKey(q server.QueryRequest) string {
-	return fmt.Sprintf("%s|%s|%s|%d", q.Doc, q.View, q.Query, q.Parallelism)
+	return fmt.Sprintf("%s|%s|%s|%s|%d", q.Doc, q.View, q.Query, q.Engine, q.Parallelism)
 }
 
 func TestChaosServerSurvivesFailpoints(t *testing.T) {

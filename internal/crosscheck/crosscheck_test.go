@@ -5,8 +5,11 @@
 package crosscheck_test
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 
+	"smoqe/internal/colstore"
 	"smoqe/internal/datagen"
 	"smoqe/internal/hospital"
 	"smoqe/internal/hype"
@@ -19,6 +22,38 @@ import (
 	"smoqe/internal/xmltree"
 	"smoqe/internal/xpath"
 )
+
+// preorderOf maps every node of d to its preorder rank, the id space of the
+// columnar store.
+func preorderOf(d *xmltree.Document) map[*xmltree.Node]int {
+	idx := make(map[*xmltree.Node]int, d.NumNodes())
+	d.Walk(func(n *xmltree.Node) bool {
+		idx[n] = len(idx)
+		return true
+	})
+	return idx
+}
+
+// checkColumnar evaluates m on the columnar form and demands the preorder
+// ids of the reference answer, exactly.
+func checkColumnar(t *testing.T, tag string, m *mfa.MFA, cd *colstore.Document, idx map[*xmltree.Node]int, want []*xmltree.Node) {
+	t.Helper()
+	e := hype.New(m)
+	got := e.EvalColumnar(e.BindColumnar(cd))
+	wantIDs := make([]int, len(want))
+	for j, n := range want {
+		wantIDs[j] = idx[n]
+	}
+	sort.Ints(wantIDs)
+	if len(got) != len(wantIDs) {
+		t.Fatalf("%s: columnar returned %d nodes, reference %d", tag, len(got), len(wantIDs))
+	}
+	for j := range got {
+		if got[j] != wantIDs[j] {
+			t.Fatalf("%s: columnar result %d is preorder id %d, want %d", tag, j, got[j], wantIDs[j])
+		}
+	}
+}
 
 var corpusTexts = []string{
 	"heart disease", "flu", "lung disease", "ecg", "xray", "statin",
@@ -34,7 +69,8 @@ func corpus(t testing.TB, patients int, seed int64) *xmltree.Document {
 
 // TestEnginesAgreeOnGeneratedQueries is the engine-equivalence property:
 // refeval (set semantics), the naive MFA product evaluator, HyPE, OptHyPE,
-// OptHyPE-C and the two-pass baseline must return identical answers.
+// OptHyPE-C, the columnar pass and the two-pass baseline must return
+// identical answers.
 func TestEnginesAgreeOnGeneratedQueries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("property test")
@@ -42,6 +78,8 @@ func TestEnginesAgreeOnGeneratedQueries(t *testing.T) {
 	doc := corpus(t, 60, 11)
 	idx := hype.BuildIndex(doc, false)
 	idxC := hype.BuildIndex(doc, true)
+	cd := colstore.FromTree(doc)
+	pre := preorderOf(doc)
 	g := qgen.New(hospital.DocDTD(), 1234, corpusTexts)
 	nonEmpty := 0
 	for i := 0; i < 250; i++ {
@@ -71,6 +109,7 @@ func TestEnginesAgreeOnGeneratedQueries(t *testing.T) {
 		check("OptHyPE", hype.NewOpt(m, idx).Eval(doc.Root))
 		check("OptHyPE-C", hype.NewOpt(m, idxC).Eval(doc.Root))
 		check("twopass", twopass.MustNew(q).Eval(doc.Root))
+		checkColumnar(t, fmt.Sprintf("query %d %q", i, src), m, cd, pre, want)
 	}
 	if nonEmpty < 25 {
 		t.Errorf("only %d/250 generated queries had nonempty results; generator too weak", nonEmpty)
@@ -91,6 +130,8 @@ func TestRewriteCorrectnessOnGeneratedQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx := hype.BuildIndex(doc, false)
+	cd := colstore.FromTree(doc)
+	pre := preorderOf(doc)
 	g := qgen.New(hospital.ViewDTD(), 999, []string{"heart disease", "flu", "lung disease"})
 	nonEmpty := 0
 	for i := 0; i < 200; i++ {
@@ -121,6 +162,9 @@ func TestRewriteCorrectnessOnGeneratedQueries(t *testing.T) {
 				}
 			}
 		}
+		// The rewritten automaton must answer identically on the columnar
+		// source document.
+		checkColumnar(t, fmt.Sprintf("view query %d %q", i, src), m, cd, pre, want)
 	}
 	if nonEmpty < 15 {
 		t.Errorf("only %d/200 generated view queries nonempty; generator too weak", nonEmpty)

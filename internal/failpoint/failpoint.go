@@ -52,6 +52,12 @@ const (
 	// SiteServerRespond fires in the HTTP layer after a successful query,
 	// before the response is written.
 	SiteServerRespond = "server.respond"
+	// SiteSnapshotWrite fires at the start of every columnar snapshot
+	// serialization (colstore.WriteSnapshot).
+	SiteSnapshotWrite = "colstore.snapshot.write"
+	// SiteSnapshotRead fires at the start of every columnar snapshot
+	// deserialization (colstore.ReadSnapshot).
+	SiteSnapshotRead = "colstore.snapshot.read"
 )
 
 // Mode is what an armed failpoint does when it fires.

@@ -469,10 +469,14 @@ type run struct {
 
 // cand is a candidate answer: a cans vertex at a final NFA state, with the
 // tree node it would contribute (the ν annotation of the paper) and the
-// final state's result tag (for batch evaluation).
+// final state's result tag (for batch evaluation). The pointer path fills
+// node; the columnar path (coleval.go) fills id — the preorder id in the
+// columnar document — and leaves node nil. Sharing the struct lets both
+// paths reuse the run's cans DAG, pools and budget accounting unchanged.
 type cand struct {
 	vid  int32
 	tag  int32
+	id   int32
 	node *xmltree.Node
 }
 

@@ -9,9 +9,20 @@ package mfa
 import (
 	"fmt"
 	"strings"
-
-	"smoqe/internal/xmltree"
 )
+
+// NodeView is the minimal read-only view of a document node that predicate
+// evaluation needs. *xmltree.Node satisfies it; the columnar store
+// (internal/colstore) provides a cursor over its flat arrays, so AFAs run
+// unchanged on either representation.
+type NodeView interface {
+	// TextContent returns the concatenation of the node's direct text
+	// children (the value text()='c' predicates test).
+	TextContent() string
+	// ElemPos returns the 1-based ordinal among same-kind siblings (the
+	// value position()=k predicates test).
+	ElemPos() int
+}
 
 // PredKind distinguishes the predicates that may annotate AFA final states.
 type PredKind uint8
@@ -35,16 +46,16 @@ type Pred struct {
 }
 
 // Holds reports whether the predicate holds at node n.
-func (p Pred) Holds(n *xmltree.Node) bool {
+func (p Pred) Holds(n NodeView) bool {
 	switch p.Kind {
 	case PredNone:
 		return true
 	case PredText:
 		return n.TextContent() == p.Text
 	case PredPos:
-		// Node.Pos is the element ordinal among element siblings, matching
+		// ElemPos is the element ordinal among element siblings, matching
 		// XPath semantics even in mixed content (text siblings don't count).
-		return n.Pos == p.K
+		return n.ElemPos() == p.K
 	default:
 		return false
 	}
@@ -299,14 +310,14 @@ func (a *AFA) computeSCCs() {
 // target state at c. Operator, NOT and FINAL values are derived here in
 // SCC order; cyclic (star) components are iterated to their least
 // fixpoint. The returned slice is indexed by state.
-func (a *AFA) EvalAt(n *xmltree.Node, transVals []bool) []bool {
+func (a *AFA) EvalAt(n NodeView, transVals []bool) []bool {
 	return a.EvalAtInto(n, transVals, make([]bool, len(a.States)))
 }
 
 // EvalAtInto is EvalAt writing into a caller-provided buffer of length
 // NumStates (it is cleared first); evaluation loops reuse buffers to avoid
 // per-node allocation.
-func (a *AFA) EvalAtInto(n *xmltree.Node, transVals []bool, vals []bool) []bool {
+func (a *AFA) EvalAtInto(n NodeView, transVals []bool, vals []bool) []bool {
 	return a.EvalAtMasked(n, transVals, vals, nil)
 }
 
@@ -315,7 +326,7 @@ func (a *AFA) EvalAtInto(n *xmltree.Node, transVals []bool, vals []bool) []bool 
 // closed under same-node children — the relevance sets HyPE maintains are —
 // so skipped states are never read by evaluated ones. Skipped states
 // report false.
-func (a *AFA) EvalAtMasked(n *xmltree.Node, transVals []bool, vals []bool, member []uint64) []bool {
+func (a *AFA) EvalAtMasked(n NodeView, transVals []bool, vals []bool, member []uint64) []bool {
 	if !a.frozen {
 		panic("mfa: EvalAt on unfrozen AFA")
 	}

@@ -32,6 +32,12 @@ const (
 	// EngineOptHyPE adds index-driven subtree skipping; the document's
 	// OptHyPE-C index is built lazily on first use.
 	EngineOptHyPE EngineKind = "opthype"
+	// EngineColumnar evaluates on the document's columnar (struct-of-arrays)
+	// representation, built lazily on first use or registered from a binary
+	// snapshot. Answers and statistics are identical to EngineHyPE; traced
+	// (explain) requests fall back to the pointer path, and the request's
+	// Parallelism is ignored (the columnar pass is sequential).
+	EngineColumnar EngineKind = "columnar"
 )
 
 // CacheStats is a snapshot of plan-cache effectiveness counters.

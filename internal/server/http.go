@@ -24,6 +24,8 @@ import (
 //	POST /docs   {"name","xml"}                          → register a document
 //	GET  /views                                          → registered views
 //	POST /views  {"name","spec","source_dtd","target_dtd"} → register a view
+//	GET  /snapshot?doc=NAME                              → binary columnar snapshot
+//	POST /snapshot?name=NAME  (binary body)              → register from a snapshot
 //	GET  /stats                                          → Stats
 //	GET  /metrics                                        → Prometheus text format
 //	GET  /slow                                           → slow-query log
@@ -39,6 +41,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /docs", s.handleRegisterDoc)
 	mux.HandleFunc("GET /views", s.handleListViews)
 	mux.HandleFunc("POST /views", s.handleRegisterView)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshotPost)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /slow", s.handleSlow)
@@ -334,6 +338,74 @@ func (s *Server) handleRegisterView(w http.ResponseWriter, r *http.Request) {
 		Name:      entry.Name,
 		Recursive: entry.View.IsRecursive(),
 		Size:      entry.View.Size(),
+	})
+}
+
+// handleSnapshotGet streams the named document's columnar snapshot — the
+// export half of corpus distribution: one daemon serializes, replicas
+// register the bytes via POST /snapshot (or load them from -snapshot-dir)
+// without re-parsing any XML.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("doc")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot: ?doc=NAME is required"))
+		return
+	}
+	entry, ok := s.reg.Document(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: document %q not registered", name))
+		return
+	}
+	cd, _ := entry.Columnar()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", name+smoqe.SnapshotFileExt))
+	if err := smoqe.WriteSnapshot(cd, w); err != nil {
+		// Headers are gone; all that is left is aborting the response so the
+		// client sees a truncated body instead of a silently corrupt snapshot
+		// (the checksum would catch it anyway).
+		panic(http.ErrAbortHandler)
+	}
+	s.met.snapshotSaves.Inc()
+}
+
+// handleSnapshotPost registers a document from a binary snapshot body. The
+// name comes from the query string because the body is the raw snapshot,
+// not JSON.
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot: ?name=NAME is required"))
+		return
+	}
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	start := time.Now()
+	cd, err := smoqe.ReadSnapshot(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("snapshot exceeds the %d-byte limit", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: snapshot %q: %w", name, err))
+		return
+	}
+	entry, err := s.reg.RegisterSnapshot(name, cd)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.met.snapshotLoads.Inc()
+	s.met.snapshotLoadTime.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusCreated, docInfo{
+		Name:     entry.Name,
+		Elements: entry.Stats.Elements,
+		Texts:    entry.Stats.Texts,
+		MaxDepth: entry.Stats.MaxDepth,
 	})
 }
 

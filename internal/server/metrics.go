@@ -40,6 +40,13 @@ type metrics struct {
 	breakerRejected *telemetry.Counter
 	panicsAll       atomic.Int64
 	limitsAll       atomic.Int64
+	// Columnar snapshots (PR 6): snapshotLoads counts snapshots registered
+	// into the registry (startup dir scan + POST /snapshot), snapshotSaves
+	// counts snapshots serialized out (GET /snapshot), snapshotLoadTime
+	// observes registry load latency (read + validate + materialize).
+	snapshotLoads    *telemetry.Counter
+	snapshotSaves    *telemetry.Counter
+	snapshotLoadTime *telemetry.Histogram
 }
 
 func newMetrics(s *Server) *metrics {
@@ -77,6 +84,13 @@ func newMetrics(s *Server) *metrics {
 			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}, nil),
 		breakerRejected: reg.Counter("smoqe_breaker_rejected_total",
 			"Requests rejected by an open circuit breaker (HTTP 503).", nil),
+		snapshotLoads: reg.Counter("smoqe_snapshot_loads_total",
+			"Columnar document snapshots loaded into the registry.", nil),
+		snapshotSaves: reg.Counter("smoqe_snapshot_saves_total",
+			"Columnar document snapshots serialized and served.", nil),
+		snapshotLoadTime: reg.Histogram("smoqe_snapshot_load_seconds",
+			"Time to load one snapshot into the registry (read, validate, materialize).",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}, nil),
 	}
 	reg.GaugeFunc("smoqe_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })

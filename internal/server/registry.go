@@ -27,6 +27,17 @@ type DocEntry struct {
 
 	once sync.Once
 	idx  *smoqe.Index
+
+	// colOnce guards the lazy columnar build below; a document registered
+	// from a snapshot arrives with both fields pre-populated.
+	colOnce sync.Once
+	// col is the columnar form of Doc, written exactly once inside
+	// colOnce.Do and shared (it is immutable) by every evaluation after.
+	col *smoqe.ColumnarDocument
+	// colNodes maps columnar preorder ids back to Doc's nodes, so columnar
+	// answers carry the same IDs and paths as pointer-path answers. Written
+	// exactly once inside colOnce.Do, immutable after.
+	colNodes []*smoqe.Node
 }
 
 // Index returns the document's OptHyPE-C subtree index, building it on
@@ -35,6 +46,28 @@ type DocEntry struct {
 func (e *DocEntry) Index() *smoqe.Index {
 	e.once.Do(func() { e.idx = smoqe.BuildIndex(e.Doc, true) })
 	return e.idx
+}
+
+// Columnar returns the document's columnar form plus the preorder-id →
+// node mapping, building both on first use. Safe for concurrent callers;
+// both are immutable once built.
+func (e *DocEntry) Columnar() (*smoqe.ColumnarDocument, []*smoqe.Node) {
+	e.colOnce.Do(func() {
+		e.col = smoqe.BuildColumnar(e.Doc)
+		e.colNodes = preorderNodes(e.Doc)
+	})
+	return e.col, e.colNodes
+}
+
+// preorderNodes flattens a document into preorder — the id space of its
+// columnar form.
+func preorderNodes(d *smoqe.Document) []*smoqe.Node {
+	out := make([]*smoqe.Node, 0, d.NumNodes())
+	d.Walk(func(n *smoqe.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
 }
 
 // ViewEntry is one registered view. Views are effectively immutable after
@@ -107,6 +140,31 @@ func (r *Registry) RegisterDocumentXML(name, xmlText string) (*DocEntry, error) 
 		return nil, fmt.Errorf("server: document %q: %w", name, err)
 	}
 	entry := &DocEntry{Name: name, Doc: doc, Stats: doc.ComputeStats()}
+	r.mu.Lock()
+	r.docs[name] = entry
+	r.mu.Unlock()
+	return entry, nil
+}
+
+// RegisterSnapshot registers a document from its columnar snapshot form:
+// the pointer tree is materialized from the columns (pointer-path and
+// traced evaluations need it), and the columnar form is installed directly
+// so columnar evaluations never rebuild it. The caller must not retain cd.
+func (r *Registry) RegisterSnapshot(name string, cd *smoqe.ColumnarDocument) (*DocEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: document name must not be empty")
+	}
+	if cd == nil || cd.NumNodes() == 0 {
+		return nil, fmt.Errorf("server: snapshot %q is empty", name)
+	}
+	doc := cd.Tree()
+	entry := &DocEntry{Name: name, Doc: doc, Stats: cd.Stats()}
+	// Tree() materializes in preorder, so the snapshot's ids line up with a
+	// preorder walk of the materialized tree.
+	entry.colOnce.Do(func() {
+		entry.col = cd
+		entry.colNodes = preorderNodes(doc)
+	})
 	r.mu.Lock()
 	r.docs[name] = entry
 	r.mu.Unlock()

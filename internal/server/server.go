@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"smoqe"
@@ -199,6 +202,37 @@ func (s *Server) RegisterViewSpec(name, spec, sourceDTD, targetDTD string) (*Vie
 	return e, err
 }
 
+// LoadSnapshotDir registers every "*.smoqe-snapshot" file in dir as a
+// document named after its base name (corpus.smoqe-snapshot → "corpus").
+// It returns how many snapshots were registered; the first unreadable or
+// corrupt snapshot aborts the scan with an error. Intended for startup
+// (smoqed -snapshot-dir), before traffic arrives.
+func (s *Server) LoadSnapshotDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	loaded := 0
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), smoqe.SnapshotFileExt) {
+			continue
+		}
+		start := time.Now()
+		cd, err := smoqe.LoadSnapshot(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return loaded, fmt.Errorf("server: snapshot %s: %w", de.Name(), err)
+		}
+		name := strings.TrimSuffix(de.Name(), smoqe.SnapshotFileExt)
+		if _, err := s.reg.RegisterSnapshot(name, cd); err != nil {
+			return loaded, err
+		}
+		s.met.snapshotLoads.Inc()
+		s.met.snapshotLoadTime.Observe(time.Since(start).Seconds())
+		loaded++
+	}
+	return loaded, nil
+}
+
 // QueryRequest asks for one evaluation.
 type QueryRequest struct {
 	// Doc names the registered document to evaluate against.
@@ -209,7 +243,7 @@ type QueryRequest struct {
 	View string `json:"view,omitempty"`
 	// Query is the regular XPath query text.
 	Query string `json:"query"`
-	// Engine selects "hype" (default) or "opthype".
+	// Engine selects "hype" (default), "opthype" or "columnar".
 	Engine EngineKind `json:"engine,omitempty"`
 	// Paths asks for the result nodes' paths, not just counts and IDs.
 	Paths bool `json:"paths,omitempty"`
@@ -309,9 +343,9 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 	switch engine {
 	case "":
 		engine = EngineHyPE
-	case EngineHyPE, EngineOptHyPE:
+	case EngineHyPE, EngineOptHyPE, EngineColumnar:
 	default:
-		return nil, fmt.Errorf("server: unknown engine %q (want %q or %q)", engine, EngineHyPE, EngineOptHyPE)
+		return nil, fmt.Errorf("server: unknown engine %q (want %q, %q or %q)", engine, EngineHyPE, EngineOptHyPE, EngineColumnar)
 	}
 	doc, ok := s.reg.Document(req.Doc)
 	if !ok {
@@ -513,7 +547,11 @@ type evalResult struct {
 // disconnects or the request timeout fires, so cancelled requests stop
 // burning CPU (recorded in smoqe_cancelled_total). Traced (EXPLAIN) runs
 // stay sequential — a trace is a single decision log; workers > 1 fans
-// independent subtrees out to a bounded shard pool.
+// independent subtrees out to a bounded shard pool. Columnar runs evaluate
+// the document's columnar form (built lazily or loaded from a snapshot)
+// and map the preorder-id answers back to nodes, so responses are
+// byte-identical to the pointer path; a traced columnar request falls back
+// to the pointer trace, and workers are ignored (the pass is sequential).
 func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool, workers int) (evalResult, error) {
 	var (
 		res evalResult
@@ -524,6 +562,16 @@ func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *D
 		res.nodes, res.stats, res.trace, err = plan.EvalIndexedTracedCtx(ctx, doc.Doc.Root, doc.Index(), s.cfg.TraceLimit)
 	case traced:
 		res.nodes, res.stats, res.trace, err = plan.EvalTracedCtx(ctx, doc.Doc.Root, s.cfg.TraceLimit)
+	case engine == EngineColumnar:
+		cd, byID := doc.Columnar()
+		var ids []int
+		ids, res.stats, err = plan.EvalColumnarCtx(ctx, cd)
+		if err == nil {
+			res.nodes = make([]*smoqe.Node, len(ids))
+			for i, id := range ids {
+				res.nodes[i] = byID[id]
+			}
+		}
 	case workers > 1:
 		var pst smoqe.ParallelStats
 		if engine == EngineOptHyPE {

@@ -1,9 +1,13 @@
 package xmltree
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks the XML parser never panics and accepted documents
-// survive serialize→parse with identical structure.
+// survive serialize→parse — both compact and indented — with identical
+// structure.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"<a/>",
@@ -16,6 +20,9 @@ func FuzzParse(f *testing.F) {
 		"<?xml version='1.0'?><a/>",
 		"<a>x&#13;y</a>",
 		"<a>cr\rlf\nend</a>",
+		"<a>x<!--c--> <!--c-->y</a>",
+		"<a> <!--c-->x</a>",
+		"<a><b>x<c/></b><d/></a>",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -42,6 +49,26 @@ func FuzzParse(f *testing.F) {
 		}
 		if !equalTree(doc.Root, doc2.Root) {
 			t.Fatalf("round trip changed tree content (%q -> %q)", src, out)
+		}
+		// Indented serialization must reparse to the same tree too: the
+		// writer may only insert whitespace where the parser drops it
+		// (between element-only children, never adjacent to text).
+		var ib strings.Builder
+		if err := doc.WriteXML(&ib, true); err != nil {
+			t.Fatalf("indented write of %q: %v", src, err)
+		}
+		ind := ib.String()
+		doc3, err := ParseString(ind)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its indented serialization %q: %v", src, ind, err)
+		}
+		if !equalTree(doc.Root, doc3.Root) {
+			t.Fatalf("indented round trip changed tree content (%q -> %q)", src, ind)
+		}
+		var ib2 strings.Builder
+		_ = doc3.WriteXML(&ib2, true)
+		if ib2.String() != ind {
+			t.Fatalf("indented round trip changed serialization: %q -> %q (src %q)", ind, ib2.String(), src)
 		}
 	})
 }

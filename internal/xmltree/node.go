@@ -65,6 +65,10 @@ type Node struct {
 // IsElement reports whether the node is an element node.
 func (n *Node) IsElement() bool { return n.Kind == Element }
 
+// ElemPos returns Pos, the 1-based ordinal among same-kind siblings. It is
+// the method form position()=k predicates evaluate (see mfa.NodeView).
+func (n *Node) ElemPos() int { return n.Pos }
+
 // IsText reports whether the node is a text node.
 func (n *Node) IsText() bool { return n.Kind == Text }
 

@@ -12,7 +12,9 @@ import (
 // Parse reads an XML document from r into a Document. Attributes, comments,
 // processing instructions and the XML declaration are skipped; whitespace-only
 // text between elements is dropped (it never carries data in the SMOQE data
-// model), while any other character data becomes a Text node.
+// model), while any other character data becomes a Text node. Whitespace that
+// is part of a significant text run — including runs split into several
+// chunks by comment or CDATA boundaries — is preserved.
 func Parse(r io.Reader) (*Document, error) {
 	return ParseWithLimits(r, ParseLimits{})
 }
@@ -34,6 +36,15 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
 	dec := xml.NewDecoder(r)
 	d := &Document{}
 	var stack []*Node
+	// pendingWS holds a run of whitespace-only character data whose fate is
+	// still open: encoding/xml splits one logical text run into several
+	// CharData tokens at comment/CDATA boundaries, so "a<!--c--> <!--c-->b"
+	// arrives as "a", " ", "b". Whitespace between elements is still dropped
+	// (it never carries data in the SMOQE data model), but a whitespace-only
+	// chunk adjacent to significant text is part of that text and must be
+	// kept. The decision is deferred until the next element boundary (drop)
+	// or the next significant chunk (merge).
+	pendingWS := ""
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -44,6 +55,7 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			pendingWS = ""
 			if lim.MaxDepth > 0 && len(stack)+1 > lim.MaxDepth {
 				return nil, &LimitError{What: LimitDepth, Limit: int64(lim.MaxDepth)}
 			}
@@ -65,6 +77,7 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
 			}
 			stack = append(stack, n)
 		case xml.EndElement:
+			pendingWS = ""
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("xmltree: parse: unmatched </%s>", t.Name.Local)
 			}
@@ -72,11 +85,26 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
 		case xml.CharData:
 			data := string(t)
 			if strings.TrimSpace(data) == "" {
+				if len(stack) == 0 {
+					continue
+				}
+				parent := stack[len(stack)-1]
+				if k := len(parent.Children); k > 0 && parent.Children[k-1].Kind == Text {
+					// Directly follows significant text (only comments or
+					// CDATA boundaries in between): it belongs to that text.
+					parent.Children[k-1].Data += data
+					continue
+				}
+				// Fate unknown: keep until the next significant chunk
+				// (merge) or element boundary (drop).
+				pendingWS += data
 				continue
 			}
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("xmltree: parse: character data outside root element")
 			}
+			data = pendingWS + data
+			pendingWS = ""
 			parent := stack[len(stack)-1]
 			// Merge adjacent character data so the tree has at most one
 			// text node between consecutive element children.
@@ -120,8 +148,9 @@ func ParseStringWithLimits(s string, lim ParseLimits) (*Document, error) {
 }
 
 // WriteXML serializes the document to w as XML. Text content is escaped.
-// If indent is true the output is pretty-printed with two-space indentation
-// (text-only elements stay on one line).
+// If indent is true the output is pretty-printed with two-space indentation;
+// any element that contains text — text-only or mixed content — is written
+// on one line, so the indented form reparses to the identical tree.
 func (d *Document) WriteXML(w io.Writer, indent bool) error {
 	bw := &errWriter{w: w}
 	if d.Root != nil {
@@ -183,17 +212,22 @@ func writeNode(w *errWriter, n *Node, indent bool, depth int) {
 		return
 	}
 	w.WriteString(">")
-	textOnly := true
+	// Indentation is only safe when every child is an element: inserted
+	// newlines land between tags, where the parser drops them. As soon as
+	// a text child is present — text-only or mixed content — any inserted
+	// whitespace would merge into that text on reparse, so the whole child
+	// list is written compactly.
+	hasText := false
 	for _, c := range n.Children {
-		if c.Kind == Element {
-			textOnly = false
+		if c.Kind == Text {
+			hasText = true
 			break
 		}
 	}
 	for _, c := range n.Children {
-		writeNode(w, c, indent && !textOnly, depth+1)
+		writeNode(w, c, indent && !hasText, depth+1)
 	}
-	if indent && !textOnly {
+	if indent && !hasText {
 		w.WriteString("\n")
 		w.WriteString(strings.Repeat("  ", depth))
 	}

@@ -1,0 +1,98 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIndentMixedContentRoundTrip is the regression test for the writeNode
+// mixed-content bug: pretty-printing used to indent element children even
+// when text siblings were present, so <a>x<b/></a> serialized as
+// "<a>x\n  <b/>\n</a>" and reparsed with text "x\n  " instead of "x".
+func TestIndentMixedContentRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a>x<b/></a>`,
+		`<a><b/>x</a>`,
+		`<a>x<b/>y</a>`,
+		`<a>x<b>y</b>z</a>`,
+		`<a><b>x<c/></b><d/></a>`,
+		`<a><b><c>deep</c></b>tail</a>`,
+		`<a> leading<b/>trailing </a>`,
+	}
+	for _, in := range cases {
+		doc, err := ParseString(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		var b strings.Builder
+		if err := doc.WriteXML(&b, true); err != nil {
+			t.Fatalf("write %q: %v", in, err)
+		}
+		out := b.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of indented %q: %v", out, err)
+		}
+		if !equalTree(doc.Root, doc2.Root) {
+			t.Errorf("indented round trip changed tree: %q -> %q", in, out)
+		}
+	}
+	// Mixed content must come out on a single line; element-only content
+	// must still be pretty-printed.
+	doc, err := ParseString(`<a>x<b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	_ = doc.WriteXML(&b, true)
+	if got, want := b.String(), "<a>x<b/></a>\n"; got != want {
+		t.Errorf("mixed content indented = %q, want %q", got, want)
+	}
+	doc, err = ParseString(`<a><b/><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	_ = doc.WriteXML(&b, true)
+	if got, want := b.String(), "<a>\n  <b/>\n  <c/>\n</a>\n"; got != want {
+		t.Errorf("element-only indented = %q, want %q", got, want)
+	}
+}
+
+// TestCommentSplitWhitespace is the regression test for the ParseWithLimits
+// whitespace bug: a whitespace-only CharData chunk between two significant
+// chunks (split by comment or CDATA boundaries) used to be dropped, so
+// "a<!--c--> <!--c-->b" loaded as "ab" instead of "a b".
+func TestCommentSplitWhitespace(t *testing.T) {
+	cases := []struct {
+		in    string
+		want  string // TextContent of the root
+		texts int    // number of text nodes in the document
+	}{
+		{`<r>a<!--c--> <!--c-->b</r>`, "a b", 1},
+		{`<r>a<!--c--> b</r>`, "a b", 1},
+		{`<r> <!--c-->b</r>`, " b", 1},
+		{`<r>a<!--c--> </r>`, "a ", 1},
+		{`<r>a<![CDATA[ ]]>b</r>`, "a b", 1},
+		// Whitespace not adjacent to text is still dropped.
+		{`<r> <!--c--> </r>`, "", 0},
+		{`<r><b/> <!--c--></r>`, "", 0},
+		{`<r> <b/> </r>`, "", 0},
+		// An element boundary breaks the run: the whitespace sits between
+		// elements, not inside a text run.
+		{`<r>a<b/> <!--c--><c/></r>`, "a", 1},
+		{`<r> <!--c--><b/>x</r>`, "x", 1},
+	}
+	for _, c := range cases {
+		doc, err := ParseString(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		if got := doc.Root.TextContent(); got != c.want {
+			t.Errorf("%q: TextContent = %q, want %q", c.in, got, c.want)
+		}
+		if st := doc.ComputeStats(); st.Texts != c.texts {
+			t.Errorf("%q: %d text nodes, want %d", c.in, st.Texts, c.texts)
+		}
+	}
+}

@@ -62,9 +62,12 @@ type PreparedQuery struct {
 	// opt maps a document's index to a pool of OptHyPE clones. All clones
 	// for one index share that single index (it is read-only after build);
 	// the map is tiny — one entry per distinct document the query has been
-	// evaluated against with indexing on.
+	// evaluated against with indexing on. col likewise maps a columnar
+	// document to its label binding, built once and shared zero-copy by
+	// every pooled clone that evaluates against it.
 	mu  sync.Mutex
-	opt map[*Index]*enginePool // guarded by mu
+	opt map[*Index]*enginePool                 // guarded by mu
+	col map[*ColumnarDocument]*hype.ColBinding // guarded by mu
 
 	evals   atomic.Int64
 	visited atomic.Int64
@@ -275,6 +278,41 @@ func (p *PreparedQuery) EvalIndexedTraced(ctx *Node, idx *Index, limit int) ([]*
 	}
 	p.account(st)
 	return res, st, tr
+}
+
+// EvalColumnarCtx evaluates the prepared query over a columnar document
+// (the root is the context node), honoring context cancellation and the
+// plan's resource limits, and returns the preorder ids of the answer nodes
+// in document order. The label binding for cd is built on first use and
+// shared by all subsequent evaluations against the same document. Safe for
+// concurrent use.
+func (p *PreparedQuery) EvalColumnarCtx(ctx context.Context, cd *ColumnarDocument) ([]int, EngineStats, error) {
+	b := p.colBinding(cd)
+	var ids []int
+	var st EngineStats
+	err := p.withEngine(p.pool, func(e *Engine) error {
+		var err error
+		ids, st, err = e.EvalColumnarCtx(ctx, b)
+		return err
+	})
+	if err == nil {
+		p.account(st)
+	}
+	return ids, st, err
+}
+
+func (p *PreparedQuery) colBinding(cd *ColumnarDocument) *hype.ColBinding {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.col[cd]
+	if !ok {
+		if p.col == nil {
+			p.col = make(map[*ColumnarDocument]*hype.ColBinding)
+		}
+		b = hype.BindColumnar(p.m, cd)
+		p.col[cd] = b
+	}
+	return b
 }
 
 func (p *PreparedQuery) indexPool(idx *Index) *enginePool {

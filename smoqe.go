@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 
+	"smoqe/internal/colstore"
 	"smoqe/internal/dtd"
 	"smoqe/internal/hype"
 	"smoqe/internal/mfa"
@@ -56,6 +57,17 @@ type Node = xmltree.Node
 
 // DocumentStats summarizes a document's shape.
 type DocumentStats = xmltree.Stats
+
+// ColumnarDocument is the columnar (struct-of-arrays) representation of a
+// Document: flat preorder columns of interned label ids, subtree intervals
+// and text offsets into one shared byte arena. It is immutable after
+// construction, safe for concurrent readers, and the unit the snapshot
+// format serializes.
+type ColumnarDocument = colstore.Document
+
+// SnapshotFileExt is the conventional file extension for binary document
+// snapshots written by SaveSnapshot.
+const SnapshotFileExt = colstore.FileExt
 
 // DTD is a document type definition in the paper's normal form (§2.2).
 type DTD = dtd.DTD
@@ -149,6 +161,29 @@ func ParseDocumentWithLimits(r io.Reader, lim ParseLimits) (*Document, error) {
 func ParseDocumentStringWithLimits(s string, lim ParseLimits) (*Document, error) {
 	return xmltree.ParseStringWithLimits(s, lim)
 }
+
+// Columnar documents and snapshots ---------------------------------------
+
+// BuildColumnar converts a Document into its columnar representation. The
+// result evaluates queries via PreparedQuery.EvalColumnarCtx and
+// serializes with WriteSnapshot/SaveSnapshot.
+func BuildColumnar(d *Document) *ColumnarDocument { return colstore.FromTree(d) }
+
+// WriteSnapshot writes the versioned binary snapshot of cd to w (format:
+// docs/SNAPSHOT.md). Snapshots are deterministic — the same document always
+// produces the same bytes — and carry a checksum verified on load.
+func WriteSnapshot(cd *ColumnarDocument, w io.Writer) error { return cd.WriteSnapshot(w) }
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot, verifying the
+// magic, format version, structural invariants and checksum.
+func ReadSnapshot(r io.Reader) (*ColumnarDocument, error) { return colstore.ReadSnapshot(r) }
+
+// SaveSnapshot writes cd's snapshot to a file (conventionally named with
+// SnapshotFileExt).
+func SaveSnapshot(cd *ColumnarDocument, path string) error { return cd.Save(path) }
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot.
+func LoadSnapshot(path string) (*ColumnarDocument, error) { return colstore.Load(path) }
 
 // ParseDTD parses a DTD in the textual format documented in package dtd:
 //
