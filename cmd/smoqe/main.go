@@ -14,6 +14,7 @@
 //	smoqe answer -query Q -view SPEC -docdtd FILE -viewdtd FILE -doc FILE
 //	smoqe materialize -view SPEC -docdtd FILE -viewdtd FILE -doc FILE [-o OUT]
 //	smoqe validate -dtd FILE -doc FILE
+//	smoqe trace [-server http://localhost:8640] [-id TRACEID]
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 		err = cmdValidate(os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -77,7 +80,8 @@ commands:
   batch        answer many queries in ONE document pass (optionally via a view)
   derive       derive a security view (view DTD + spec) from an access policy
   validate     validate a document against a DTD
-  snapshot     save/load the columnar binary snapshot of a document`)
+  snapshot     save/load the columnar binary snapshot of a document
+  trace        list or render request traces from a running smoqed`)
 }
 
 func loadDoc(path string) (*smoqe.Document, error) {

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smoqe/internal/trace"
+)
+
+func TestRenderTraceTree(t *testing.T) {
+	d := &trace.Data{
+		TraceID:        "0123456789abcdef0123456789abcdef",
+		Root:           "http",
+		Start:          time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		DurationMicros: 1500,
+		Status:         "error",
+		Retained:       "forced",
+		DroppedSpans:   2,
+		Spans: []trace.SpanData{
+			{ID: "aaaaaaaaaaaaaaaa", Name: "http", StartMicros: 0, DurationMicros: 1500,
+				Attrs: []trace.Attr{{Key: "method", Value: "POST"}, {Key: "status", Value: "500"}}},
+			{ID: "bbbbbbbbbbbbbbbb", Parent: "aaaaaaaaaaaaaaaa", Name: "eval",
+				StartMicros: 100, DurationMicros: 1200},
+			{ID: "cccccccccccccccc", Parent: "bbbbbbbbbbbbbbbb", Name: "hype.shard",
+				StartMicros: 200, DurationMicros: 900,
+				Events: []trace.Event{{Name: "failpoint", AtMicros: 300,
+					Attrs: []trace.Attr{{Key: "site", Value: "hype.shard.worker"}}}},
+				Error: "injected fault"},
+		},
+	}
+	out := renderTrace(d)
+
+	header := "trace 0123456789abcdef0123456789abcdef  root=http  status=error  retained=forced  1500µs  (2 spans dropped)"
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != header {
+		t.Errorf("header = %q, want %q", lines[0], header)
+	}
+	// Indentation follows parent links: http at depth 1, eval nested under
+	// it, the shard span nested under eval.
+	if !strings.HasPrefix(lines[1], "  http  +0µs  1500µs  method=POST  status=500") {
+		t.Errorf("root span line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    eval  +100µs  1200µs") {
+		t.Errorf("child span line = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "      hype.shard  +200µs  900µs  [failpoint site=hype.shard.worker @300µs]") {
+		t.Errorf("grandchild span line = %q", lines[3])
+	}
+	if !strings.Contains(lines[3], `error="injected fault"`) {
+		t.Errorf("shard line missing error: %q", lines[3])
+	}
+}
+
+func TestRenderTraceAdoptedRoot(t *testing.T) {
+	// A root adopted under a remote caller's span has a parent ID that is
+	// not among the trace's spans; it must still render as a root.
+	d := &trace.Data{
+		TraceID: "ffffffffffffffffffffffffffffffff", Root: "http", Status: "ok",
+		Retained: "sampled", DurationMicros: 10,
+		Spans: []trace.SpanData{
+			{ID: "aaaaaaaaaaaaaaaa", Parent: "00f067aa0ba902b7", Name: "http",
+				StartMicros: 0, DurationMicros: 10},
+		},
+	}
+	out := renderTrace(d)
+	if !strings.Contains(out, "\n  http  +0µs  10µs\n") {
+		t.Errorf("adopted root not rendered at depth 1:\n%s", out)
+	}
+}

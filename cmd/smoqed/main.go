@@ -15,6 +15,7 @@
 //	       [-max-doc-depth 0] [-max-doc-nodes 0] [-max-doc-bytes 0] [-max-body 64MiB]
 //	       [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	       [-read-timeout 30s] [-write-timeout timeout+30s] [-idle-timeout 2m]
+//	       [-trace-store 256] [-trace-sample 0.01] [-trace-latency slow-threshold]
 //
 // Fault injection for chaos testing (see docs/ROBUSTNESS.md):
 //
@@ -24,7 +25,7 @@
 //
 //	POST /query  {"doc":"d","view":"v","query":"...","engine":"hype","explain":true}
 //	GET|POST /docs, /views
-//	GET  /stats, /metrics, /slow, /healthz
+//	GET  /stats, /metrics, /slow, /traces, /traces/{id}, /healthz
 package main
 
 import (
@@ -69,6 +70,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0, "HTTP read timeout (0 = default 30s, negative disables)")
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout (0 = default timeout+30s, negative disables)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP idle connection timeout (0 = default 2m, negative disables)")
+	traceStore := flag.Int("trace-store", 0, "request-trace store capacity in traces (0 = default 256, negative disables tracing)")
+	traceSample := flag.Float64("trace-sample", 0, "probability an unremarkable trace is retained (0 = default 0.01, negative never samples)")
+	traceLatency := flag.Duration("trace-latency", 0, "retain every trace at least this slow (0 = slow-query threshold, negative disables)")
 
 	snapshotDir := flag.String("snapshot-dir", "", "load every *"+smoqe.SnapshotFileExt+" file in this directory as a document at startup")
 
@@ -78,24 +82,27 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		CacheSize:          *cacheSize,
-		RequestTimeout:     *timeout,
-		MaxPaths:           *maxPaths,
-		SlowQueryThreshold: *slowThreshold,
-		SlowLogSize:        *slowLogSize,
-		TraceLimit:         *traceLimit,
-		EnablePprof:        *enablePprof,
-		MaxParallelism:     *parallelism,
-		MaxConcurrentEvals: *maxConcurrent,
-		QueueWait:          *queueWait,
-		EvalLimits:         smoqe.EvalLimits{MaxVisited: *maxVisited, MaxResultNodes: *maxResults},
-		ParseLimits:        smoqe.ParseLimits{MaxDepth: *maxDocDepth, MaxNodes: *maxDocNodes, MaxBytes: *maxDocBytes},
-		MaxBodyBytes:       *maxBody,
-		BreakerThreshold:   *breakerThreshold,
-		BreakerCooldown:    *breakerCooldown,
-		ReadTimeout:        *readTimeout,
-		WriteTimeout:       *writeTimeout,
-		IdleTimeout:        *idleTimeout,
+		CacheSize:             *cacheSize,
+		RequestTimeout:        *timeout,
+		MaxPaths:              *maxPaths,
+		SlowQueryThreshold:    *slowThreshold,
+		SlowLogSize:           *slowLogSize,
+		TraceLimit:            *traceLimit,
+		EnablePprof:           *enablePprof,
+		MaxParallelism:        *parallelism,
+		MaxConcurrentEvals:    *maxConcurrent,
+		QueueWait:             *queueWait,
+		EvalLimits:            smoqe.EvalLimits{MaxVisited: *maxVisited, MaxResultNodes: *maxResults},
+		ParseLimits:           smoqe.ParseLimits{MaxDepth: *maxDocDepth, MaxNodes: *maxDocNodes, MaxBytes: *maxDocBytes},
+		MaxBodyBytes:          *maxBody,
+		BreakerThreshold:      *breakerThreshold,
+		BreakerCooldown:       *breakerCooldown,
+		ReadTimeout:           *readTimeout,
+		WriteTimeout:          *writeTimeout,
+		IdleTimeout:           *idleTimeout,
+		TraceStoreSize:        *traceStore,
+		TraceSampleRate:       *traceSample,
+		TraceLatencyRetention: *traceLatency,
 	})
 
 	if sites, err := failpoint.ArmFromEnv(); err != nil {

@@ -26,6 +26,7 @@ import (
 	"smoqe/internal/analysis/guardcheck"
 	"smoqe/internal/analysis/lockcheck"
 	"smoqe/internal/analysis/metriccheck"
+	"smoqe/internal/analysis/spancheck"
 )
 
 // all is every analyzer smoqevet knows, in output order.
@@ -36,6 +37,7 @@ var all = []*analysis.Analyzer{
 	guardcheck.Analyzer,
 	lockcheck.Analyzer,
 	metriccheck.Analyzer,
+	spancheck.Analyzer,
 }
 
 func main() {

@@ -28,7 +28,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, ".", &out, &errOut); code != 0 {
 		t.Fatalf("run -list = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"lockcheck", "atomiccheck", "failpointcheck", "metriccheck", "ctxcheck", "guardcheck"} {
+	for _, name := range []string{"lockcheck", "atomiccheck", "failpointcheck", "metriccheck", "ctxcheck", "guardcheck", "spancheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

@@ -1,0 +1,12 @@
+package spancheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/spancheck"
+)
+
+func TestSpancheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spancheck.Analyzer, "internal/hype")
+}

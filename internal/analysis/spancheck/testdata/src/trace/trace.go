@@ -1,0 +1,35 @@
+// Package trace is a span-tracer stub for spancheck tests.
+package trace
+
+import "context"
+
+// Span is one timed operation.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// Attr annotates the span.
+func (s *Span) Attr(key, value string) {}
+
+// Event records a point-in-time annotation.
+func (s *Span) Event(name string, kv ...string) {}
+
+// Error marks the span failed.
+func (s *Span) Error(err error) {}
+
+// Start begins a child of the context's current span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, nil
+}
+
+// Traceparent is a remote parent reference.
+type Traceparent struct{}
+
+// Tracer starts root spans.
+type Tracer struct{}
+
+// StartRoot begins a new trace with its root span.
+func (t *Tracer) StartRoot(ctx context.Context, name string, remote Traceparent) (context.Context, *Span) {
+	return ctx, nil
+}

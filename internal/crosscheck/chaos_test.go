@@ -27,6 +27,7 @@ import (
 	"smoqe/internal/failpoint"
 	"smoqe/internal/hospital"
 	"smoqe/internal/server"
+	"smoqe/internal/trace"
 )
 
 // elapsedRe masks the only nondeterministic field of a QueryResponse.
@@ -304,6 +305,115 @@ func TestChaosServerSurvivesFailpoints(t *testing.T) {
 		}
 		if want := golden[queryKey(q)]; body != want {
 			t.Errorf("post-chaos response for %v differs from golden:\n got %s\nwant %s", q, body, want)
+		}
+	}
+}
+
+// TestFailpointRequestsYieldRetainedTraces: every failpoint-fired request
+// leaves a retained trace behind, and that trace contains the failing
+// span's classified event with the fault site attached — the tracing
+// contract of docs/OBSERVABILITY.md. Deterministic: one site armed at
+// 100% per case, one request, one trace.
+func TestFailpointRequestsYieldRetainedTraces(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	failpoint.DisableAll()
+
+	s := server.New(server.Config{
+		CacheSize:        64,
+		MaxParallelism:   4,
+		BreakerThreshold: -1, // breakers off: every request must reach its fault site
+		TraceSampleRate:  -1, // only error retention keeps these traces
+	})
+	if _, err := s.Registry().RegisterDocument("hospital", hospital.SampleDocument()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().RegisterDocument("corpus", datagen.Generate(datagen.DefaultConfig(120))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cc := &chaosClient{t: t, base: ts.URL, c: &http.Client{Timeout: 15 * time.Second}}
+
+	parallel := server.QueryRequest{Doc: "corpus", Query: "//diagnosis", Parallelism: 2}
+	cases := []struct {
+		site  string
+		mode  string
+		event string // the classified span event the trace must contain
+		req   server.QueryRequest
+	}{
+		// Fresh query so the single-flight build actually runs.
+		{failpoint.SiteServerPlanBuild, "error", "failpoint",
+			server.QueryRequest{Doc: "hospital", Query: "department/patient[position()=1]"}},
+		{failpoint.SiteHypeShardWorker, "panic", "panic", parallel},
+		{failpoint.SiteHypeMerge, "error", "failpoint", parallel},
+		{failpoint.SiteServerRespond, "error", "failpoint",
+			server.QueryRequest{Doc: "hospital", Query: "//diagnosis"}},
+	}
+	for _, tc := range cases {
+		// Warm the plan (and shard layout) with the site disarmed so only
+		// the armed site can fail the traced request.
+		if tc.site != failpoint.SiteServerPlanBuild {
+			if status, body := cc.post("/query", tc.req); status != http.StatusOK {
+				t.Fatalf("%s: warm-up status %d: %s", tc.site, status, body)
+			}
+		}
+		if err := failpoint.Enable(tc.site, tc.mode); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(tc.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := cc.c.Post(ts.URL+"/query", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		failpoint.DisableAll()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Errorf("%s: status %d, want 500", tc.site, resp.StatusCode)
+			continue
+		}
+		traceID := resp.Header.Get("X-Smoqe-Trace-Id")
+		if traceID == "" {
+			t.Errorf("%s: failed response carries no X-Smoqe-Trace-Id", tc.site)
+			continue
+		}
+
+		// The root span ends after the response is flushed; give the store
+		// a moment to see the submission.
+		var d *trace.Data
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var ok bool
+			if d, ok = s.Traces().Get(traceID); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: trace %s was not retained", tc.site, traceID)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if d.Status != "error" || d.Retained != trace.RetainError {
+			t.Errorf("%s: trace status=%q retained=%q, want error/error", tc.site, d.Status, d.Retained)
+		}
+		found := false
+		for _, sp := range d.Spans {
+			for _, ev := range sp.Events {
+				if ev.Name != tc.event {
+					continue
+				}
+				for _, a := range ev.Attrs {
+					if a.Key == "site" && a.Value == tc.site {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no span in trace %s carries a %q event with site=%s (spans: %+v)",
+				tc.site, traceID, tc.event, tc.site, d.Spans)
 		}
 	}
 }

@@ -30,11 +30,13 @@ package hype
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"smoqe/internal/failpoint"
 	"smoqe/internal/guard"
+	"smoqe/internal/trace"
 	"smoqe/internal/xmltree"
 )
 
@@ -141,6 +143,7 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 	// Plan: partially visit the root, then split dominating shards. The
 	// budget is shared with every worker run, so MaxVisited/MaxResultNodes
 	// bound the whole parallel evaluation, not each shard separately.
+	_, psp := trace.Start(ctx, "hype.plan")
 	r0 := &run{Engine: e, ctx: ctx}
 	if e.limits.active() {
 		r0.bud = &budget{}
@@ -176,6 +179,9 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 	}
 
 	pst := ParallelStats{Shards: len(tasks), SpineNodes: len(spines)}
+	psp.AttrInt("shards", int64(len(tasks)))
+	psp.AttrInt("spine_nodes", int64(len(spines)))
+	psp.End()
 	if ctx != nil && ctx.Err() != nil {
 		return nil, pst, ctx.Err()
 	}
@@ -230,8 +236,34 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 		}
 	}
 
-	if err := failpoint.Inject(failpoint.SiteHypeMerge); err != nil {
+	if err := mergeParallel(ctx, r0, spines, tasks); err != nil {
 		return nil, pst, err
+	}
+
+	// Phase 2 over the merged DAG, then the merged statistics.
+	hits := r0.liveCands(rootSpine.res)
+	st := r0.stats
+	for _, t := range tasks {
+		addStats(&st, t.out.stats)
+	}
+	st.CansVertices = r0.numVerts
+	st.CansEdges = len(r0.edgeList)
+	e.stats = st
+	pst.Stats = st
+	return hits, pst, nil
+}
+
+// mergeParallel folds the shard results back into the planner run's global
+// DAG in document order — the sequential third phase of the parallel
+// evaluation (see the package comment). It runs under a "hype.merge" span
+// when the evaluation is traced.
+func mergeParallel(ctx context.Context, r0 *run, spines []*spineNode, tasks []*shardTask) error {
+	_, msp := trace.Start(ctx, "hype.merge")
+	defer msp.End()
+	if err := failpoint.Inject(failpoint.SiteHypeMerge); err != nil {
+		msp.Event("failpoint", "site", failpoint.SiteHypeMerge)
+		msp.Error(err)
+		return err
 	}
 
 	// Presize the merged DAG: one growth step instead of log-many
@@ -295,18 +327,7 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 		}
 		r0.killGuardFailed(sp.node, &sp.res)
 	}
-
-	// Phase 2 over the merged DAG, then the merged statistics.
-	hits := r0.liveCands(rootSpine.res)
-	st := r0.stats
-	for _, t := range tasks {
-		addStats(&st, t.out.stats)
-	}
-	st.CansVertices = r0.numVerts
-	st.CansEdges = len(r0.edgeList)
-	e.stats = st
-	pst.Stats = st
-	return hits, pst, nil
+	return nil
 }
 
 // runShard evaluates one shard task on the worker's run, isolating panics:
@@ -315,6 +336,12 @@ func (e *Engine) runParallel(ctx context.Context, root *xmltree.Node, workers in
 // would kill the process), and reported as the task's error. A shard that
 // trips a resource budget reports its *LimitError the same way.
 func runShard(wr *run, t *shardTask) {
+	// Defer order matters (LIFO): the recover closure runs first so a panic
+	// is already in t.out.err when shardSpanOutcome annotates the span, and
+	// sp.End runs last so the published snapshot is complete.
+	_, sp := trace.Start(wr.ctx, "hype.shard")
+	defer sp.End()
+	defer shardSpanOutcome(sp, t)
 	defer func() {
 		if rec := recover(); rec != nil {
 			t.out.err = guard.Recovered(failpoint.SiteHypeShardWorker, rec)
@@ -336,6 +363,32 @@ func runShard(wr *run, t *shardTask) {
 	// slices are never re-pooled).
 	wr.numVerts, wr.edgeList, wr.dead, wr.cands = 0, nil, nil, nil
 	wr.stats = Stats{}
+}
+
+// shardSpanOutcome annotates a shard span from its task's outcome: the
+// subtree size estimate always, plus an event per abnormal ending —
+// recovered panic, injected fault, exceeded budget, or cancellation.
+func shardSpanOutcome(sp *trace.Span, t *shardTask) {
+	sp.AttrInt("subtree_elements", int64(t.size))
+	if t.out.cancelled {
+		sp.Event("cancelled")
+	}
+	err := t.out.err
+	if err == nil {
+		return
+	}
+	var pe *guard.PanicError
+	var fe *failpoint.Error
+	var le *LimitError
+	switch {
+	case errors.As(err, &pe):
+		sp.Event("panic", "site", pe.Site)
+	case errors.As(err, &fe):
+		sp.Event("failpoint", "site", fe.Site)
+	case errors.As(err, &le):
+		sp.Event("limit-exceeded", "what", le.What)
+	}
+	sp.Error(err)
 }
 
 // expandSpine partially visits node n the way visit() would — same stats,

@@ -7,6 +7,7 @@ import (
 	"smoqe"
 	"smoqe/internal/datagen"
 	"smoqe/internal/hospital"
+	"smoqe/internal/trace"
 )
 
 // BenchmarkColdPipeline measures what every request would cost without the
@@ -50,6 +51,59 @@ func BenchmarkCachedPrepared(b *testing.B) {
 		if _, err := s.Query(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCachedPreparedTracingOff is BenchmarkCachedPrepared with
+// tracing disabled outright (negative TraceStoreSize). BenchmarkCachedPrepared
+// itself runs with the default tracer allocated but no root span started —
+// the hot-path cost of tracing for untraced callers is one nil context
+// lookup per instrumented layer. CI's tracing bench-smoke runs both; the
+// two must stay within noise of each other (see docs/EXPERIMENTS.md).
+func BenchmarkCachedPreparedTracingOff(b *testing.B) {
+	s := New(Config{CacheSize: 16, TraceStoreSize: -1})
+	doc := datagen.Generate(datagen.DefaultConfig(200))
+	if _, err := s.Registry().RegisterDocument("d", doc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.RegisterView("sigma0", hospital.Sigma0()); err != nil {
+		b.Fatal(err)
+	}
+	req := QueryRequest{Doc: "d", View: "sigma0", Query: hospital.QExample11}
+	if _, err := s.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedPreparedTraced measures a fully traced request: a root
+// span per iteration, child spans recorded at every layer, the tail-based
+// retention decision run at the end (sample rate -1, so nothing is stored).
+func BenchmarkCachedPreparedTraced(b *testing.B) {
+	s := New(Config{CacheSize: 16, TraceSampleRate: -1})
+	doc := datagen.Generate(datagen.DefaultConfig(200))
+	if _, err := s.Registry().RegisterDocument("d", doc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.RegisterView("sigma0", hospital.Sigma0()); err != nil {
+		b.Fatal(err)
+	}
+	req := QueryRequest{Doc: "d", View: "sigma0", Query: hospital.QExample11}
+	if _, err := s.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, sp := s.tracer.StartRoot(context.Background(), "bench", trace.Traceparent{})
+		if _, err := s.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		sp.End()
 	}
 }
 

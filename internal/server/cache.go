@@ -90,6 +90,21 @@ func NewPlanCache(capacity int) *PlanCache {
 	}
 }
 
+// PlanOutcome says how GetOrBuildOutcome satisfied a lookup: a cache hit,
+// a build run by this caller, or a wait on a concurrent caller's build
+// (single-flight). Request traces record the outcome on their "plan" span.
+type PlanOutcome int
+
+const (
+	// PlanCacheHit: the plan was already cached.
+	PlanCacheHit PlanOutcome = iota
+	// PlanCacheBuilt: this caller ran the parse/rewrite/compile build.
+	PlanCacheBuilt
+	// PlanCacheWaited: a concurrent caller was already building the same
+	// plan; this caller waited for its result.
+	PlanCacheWaited
+)
+
 // GetOrBuild returns the plan cached under key, building it with build on
 // a miss. The second result reports whether the plan came from the cache
 // (true) or was built by this or a concurrent call (false). Build errors
@@ -97,27 +112,34 @@ func NewPlanCache(capacity int) *PlanCache {
 // as a build error (to this caller and every waiter alike) rather than
 // left as a permanently hung in-flight slot.
 func (c *PlanCache) GetOrBuild(key PlanKey, build func() (*smoqe.PreparedQuery, error)) (*smoqe.PreparedQuery, bool, error) {
+	plan, outcome, err := c.GetOrBuildOutcome(key, build)
+	return plan, outcome == PlanCacheHit, err
+}
+
+// GetOrBuildOutcome is GetOrBuild distinguishing the two miss flavors
+// (built here vs waited on a concurrent build).
+func (c *PlanCache) GetOrBuildOutcome(key PlanKey, build func() (*smoqe.PreparedQuery, error)) (*smoqe.PreparedQuery, PlanOutcome, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		plan := el.Value.(*cacheEntry).plan
 		c.mu.Unlock()
-		return plan, true, nil
+		return plan, PlanCacheHit, nil
 	}
 	c.misses++
 	if call, ok := c.building[key]; ok {
 		// Someone else is already building this plan; wait for it.
 		c.mu.Unlock()
 		<-call.done
-		return call.plan, false, call.err
+		return call.plan, PlanCacheWaited, call.err
 	}
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
 	c.mu.Unlock()
 
 	c.runBuild(key, call, build)
-	return call.plan, false, call.err
+	return call.plan, PlanCacheBuilt, call.err
 }
 
 // runBuild executes one single-flight build. The cleanup is deferred so it

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"smoqe"
 	"smoqe/internal/failpoint"
 	"smoqe/internal/guard"
+	"smoqe/internal/trace"
 )
 
 // Handler returns the HTTP API of the server:
@@ -29,11 +31,14 @@ import (
 //	GET  /stats                                          → Stats
 //	GET  /metrics                                        → Prometheus text format
 //	GET  /slow                                           → slow-query log
+//	GET  /traces                                         → retained trace summaries
+//	GET  /traces/{id}                                    → one trace's full span tree
 //	GET  /healthz                                        → HealthInfo (build/version/uptime)
 //	GET  /debug/pprof/...                                → profiles (Config.EnablePprof only)
 //
 // Bodies are JSON; errors come back as {"error": "..."} with a 4xx/5xx
-// status.
+// status. Every response carries the request's trace ID in
+// X-Smoqe-Trace-Id (when tracing is enabled).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -46,6 +51,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /slow", s.handleSlow)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
 	})
@@ -56,7 +63,54 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s.recoverer(mux)
+	return s.recoverer(s.traced(mux))
+}
+
+// traced wraps the API in the root request span: it adopts an incoming W3C
+// traceparent header, reflects the trace ID back on X-Smoqe-Trace-Id (and
+// a traceparent for downstream hops), and records the method, path and
+// final status. It sits inside recoverer so a panic that escapes every
+// inner boundary still ends the root span (marked failed) before the
+// recoverer turns it into a 500. A nil tracer makes this a pass-through.
+func (s *Server) traced(next http.Handler) http.Handler {
+	if s.tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remote, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, sp := s.tracer.StartRoot(r.Context(), "http", remote)
+		sp.Attr("method", r.Method)
+		sp.Attr("path", r.URL.Path)
+		w.Header().Set("X-Smoqe-Trace-Id", sp.TraceID().String())
+		w.Header().Set("traceparent",
+			trace.Traceparent{TraceID: sp.TraceID(), SpanID: sp.ID(), Sampled: true}.String())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				sp.Event("panic")
+				sp.Error(fmt.Errorf("panic: %v", rec))
+				sp.End()
+				panic(rec)
+			}
+			sp.AttrInt("status", int64(sw.status))
+			if sw.status >= http.StatusInternalServerError {
+				sp.Error(fmt.Errorf("http status %d", sw.status))
+			}
+			sp.End()
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// statusWriter captures the response status for the root span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // recoverer is the outermost panic boundary of the HTTP API: whatever
@@ -105,6 +159,69 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tracesResponse is the GET /traces payload: lifetime retention counters
+// plus a summary of every retained trace, newest first.
+type tracesResponse struct {
+	RetainedTotal int64          `json:"retained_total"`
+	DroppedTotal  int64          `json:"dropped_total"`
+	SpansTotal    int64          `json:"spans_total"`
+	Traces        []traceSummary `json:"traces"`
+}
+
+// traceSummary is one retained trace without its spans.
+type traceSummary struct {
+	TraceID        string    `json:"trace_id"`
+	Root           string    `json:"root"`
+	Start          time.Time `json:"start"`
+	DurationMicros int64     `json:"duration_us"`
+	Status         string    `json:"status"`
+	Retained       string    `json:"retained"`
+	Spans          int       `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	store := s.Traces()
+	if store == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: tracing disabled"))
+		return
+	}
+	retained, dropped, spans := store.Totals()
+	all := store.Snapshot()
+	out := tracesResponse{
+		RetainedTotal: retained,
+		DroppedTotal:  dropped,
+		SpansTotal:    spans,
+		Traces:        make([]traceSummary, 0, len(all)),
+	}
+	for _, d := range all {
+		out.Traces = append(out.Traces, traceSummary{
+			TraceID:        d.TraceID,
+			Root:           d.Root,
+			Start:          d.Start,
+			DurationMicros: d.DurationMicros,
+			Status:         d.Status,
+			Retained:       d.Retained,
+			Spans:          len(d.Spans),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	store := s.Traces()
+	if store == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: tracing disabled"))
+		return
+	}
+	id := r.PathValue("id")
+	d, ok := store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: trace %q not retained", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
 // Serve runs the HTTP API on addr until ctx is canceled, then shuts down
 // gracefully (in-flight requests get up to grace to finish; new
 // connections are refused during the drain).
@@ -144,14 +261,10 @@ func posDur(d time.Duration) time.Duration {
 	return d
 }
 
-// retryAfter suggests how long a shed client should back off: the queue
-// deadline rounded up to whole seconds (Retry-After carries integers).
-func (s *Server) retryAfter() string {
-	return retryAfterSecs(s.cfg.QueueWait)
-}
-
 // retryAfterSecs renders a backoff hint as whole seconds, rounded up
-// (Retry-After carries integers; zero would mean "retry immediately").
+// (Retry-After carries non-negative integers; zero would mean "retry
+// immediately", so sub-second and non-positive hints clamp to one second).
+// Every Retry-After header the server emits goes through this helper.
 func retryAfterSecs(d time.Duration) string {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
@@ -240,7 +353,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		status := statusFor(err)
 		switch status {
 		case http.StatusTooManyRequests:
-			w.Header().Set("Retry-After", s.retryAfter())
+			w.Header().Set("Retry-After", retryAfterSecs(s.cfg.QueueWait))
 		case http.StatusServiceUnavailable:
 			var boe *BreakerOpenError
 			if errors.As(err, &boe) {
@@ -283,7 +396,7 @@ func (s *Server) handleRegisterDoc(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	entry, err := s.reg.RegisterDocumentXML(req.Name, req.XML)
+	entry, err := s.registerDocumentXML(r.Context(), req.Name, req.XML)
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusRequestEntityTooLarge {
@@ -301,6 +414,25 @@ func (s *Server) handleRegisterDoc(w http.ResponseWriter, r *http.Request) {
 		Texts:    entry.Stats.Texts,
 		MaxDepth: entry.Stats.MaxDepth,
 	})
+}
+
+// registerDocumentXML parses and registers one document under a "parse"
+// span (the XML parse dominates the handler's cost).
+func (s *Server) registerDocumentXML(ctx context.Context, name, xmlText string) (*DocEntry, error) {
+	_, sp := trace.Start(ctx, "parse")
+	defer sp.End()
+	sp.Attr("doc", name)
+	entry, err := s.reg.RegisterDocumentXML(name, xmlText)
+	if err != nil {
+		var fe *failpoint.Error
+		if errors.As(err, &fe) {
+			sp.Event("failpoint", "site", fe.Site)
+		}
+		sp.Error(err)
+		return nil, err
+	}
+	sp.AttrInt("elements", int64(entry.Stats.Elements))
+	return entry, nil
 }
 
 type viewInfo struct {
@@ -382,8 +514,7 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxBodyBytes > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	}
-	start := time.Now()
-	cd, err := smoqe.ReadSnapshot(body)
+	entry, err := s.registerSnapshot(r.Context(), name, body)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -391,22 +522,40 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("snapshot exceeds the %d-byte limit", mbe.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: snapshot %q: %w", name, err))
-		return
-	}
-	entry, err := s.reg.RegisterSnapshot(name, cd)
-	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.met.snapshotLoads.Inc()
-	s.met.snapshotLoadTime.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusCreated, docInfo{
 		Name:     entry.Name,
 		Elements: entry.Stats.Elements,
 		Texts:    entry.Stats.Texts,
 		MaxDepth: entry.Stats.MaxDepth,
 	})
+}
+
+// registerSnapshot reads a binary snapshot and registers it under a
+// "snapshot.load" span covering read + validate + materialize (the same
+// window smoqe_snapshot_load_seconds observes).
+func (s *Server) registerSnapshot(ctx context.Context, name string, body io.Reader) (*DocEntry, error) {
+	_, sp := trace.Start(ctx, "snapshot.load")
+	defer sp.End()
+	sp.Attr("doc", name)
+	start := time.Now()
+	cd, err := smoqe.ReadSnapshot(body)
+	if err != nil {
+		err = fmt.Errorf("server: snapshot %q: %w", name, err)
+		sp.Error(err)
+		return nil, err
+	}
+	entry, err := s.reg.RegisterSnapshot(name, cd)
+	if err != nil {
+		sp.Error(err)
+		return nil, err
+	}
+	s.met.snapshotLoads.Inc()
+	s.met.snapshotLoadTime.Observe(time.Since(start).Seconds())
+	sp.AttrInt("elements", int64(entry.Stats.Elements))
+	return entry, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

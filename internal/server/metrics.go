@@ -1,6 +1,8 @@
 package server
 
 import (
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +49,12 @@ type metrics struct {
 	snapshotLoads    *telemetry.Counter
 	snapshotSaves    *telemetry.Counter
 	snapshotLoadTime *telemetry.Histogram
+	// Request tracing (PR 7): traceSpans counts spans recorded on finished
+	// traces; traceRetained/traceDropped count the tail-based retention
+	// decision's two outcomes. Fed by the tracer's OnFinish hook.
+	traceSpans    *telemetry.Counter
+	traceRetained *telemetry.Counter
+	traceDropped  *telemetry.Counter
 }
 
 func newMetrics(s *Server) *metrics {
@@ -91,7 +99,20 @@ func newMetrics(s *Server) *metrics {
 		snapshotLoadTime: reg.Histogram("smoqe_snapshot_load_seconds",
 			"Time to load one snapshot into the registry (read, validate, materialize).",
 			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}, nil),
+		traceSpans: reg.Counter("smoqe_trace_spans_total",
+			"Spans recorded on finished request traces.", nil),
+		traceRetained: reg.Counter("smoqe_trace_retained_total",
+			"Finished traces kept by tail-based retention (forced, error, latency or sampled).", nil),
+		traceDropped: reg.Counter("smoqe_trace_dropped_total",
+			"Finished traces not kept by tail-based retention.", nil),
 	}
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.Gauge("smoqe_build_info",
+		"Build metadata: always 1, labeled with the module version and Go runtime version.",
+		telemetry.Labels{"version": version, "go_version": runtime.Version()}).Set(1)
 	reg.GaugeFunc("smoqe_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("smoqe_documents", "Registered documents.", nil,
@@ -138,6 +159,17 @@ func (m *metrics) limitExceeded(cause string) {
 	m.reg.Counter("smoqe_limit_exceeded_total",
 		"Requests refused over an exceeded resource limit, by cause.",
 		telemetry.Labels{"cause": cause}).Inc()
+}
+
+// traceFinished is the tracer's OnFinish hook: one finished trace with
+// its span count and the tail-based retention verdict.
+func (m *metrics) traceFinished(spans int, retained bool) {
+	m.traceSpans.Add(int64(spans))
+	if retained {
+		m.traceRetained.Inc()
+	} else {
+		m.traceDropped.Inc()
+	}
 }
 
 // breakerTransition records one circuit-breaker state change: a transition

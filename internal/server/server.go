@@ -16,6 +16,7 @@ import (
 	"smoqe/internal/guard"
 	"smoqe/internal/hype"
 	"smoqe/internal/telemetry"
+	"smoqe/internal/trace"
 )
 
 // Config tunes a Server.
@@ -77,6 +78,19 @@ type Config struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration
+	// TraceStoreSize caps how many request traces the tail-based trace
+	// store retains, served at GET /traces (default 256; negative disables
+	// tracing entirely — requests pay zero tracing cost).
+	TraceStoreSize int
+	// TraceSampleRate is the probability that an unremarkable request
+	// trace (no error, under the latency threshold, no "trace": true) is
+	// retained anyway (default 0.01; negative disables sampling).
+	TraceSampleRate float64
+	// TraceLatencyRetention retains every trace whose root span ran at
+	// least this long — slow requests always keep their trace (default:
+	// SlowQueryThreshold, so every /slow entry has a retained trace;
+	// negative disables latency-based retention).
+	TraceLatencyRetention time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +139,15 @@ func (c Config) withDefaults() Config {
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 120 * time.Second
 	}
+	if c.TraceStoreSize == 0 {
+		c.TraceStoreSize = 256
+	}
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 0.01
+	}
+	if c.TraceLatencyRetention == 0 {
+		c.TraceLatencyRetention = c.SlowQueryThreshold
+	}
 	return c
 }
 
@@ -149,6 +172,8 @@ type Server struct {
 	sem chan struct{}
 	// brk holds the per-view circuit breakers (nil threshold ⇒ disabled).
 	brk *breakerGroup
+	// tracer starts per-request traces (nil when tracing is disabled).
+	tracer *trace.Tracer
 }
 
 // New returns a server with an empty registry.
@@ -168,6 +193,14 @@ func New(cfg Config) *Server {
 	s.brk = newBreakerGroup(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.met = newMetrics(s)
 	s.brk.onTransition = s.met.breakerTransition
+	if cfg.TraceStoreSize > 0 {
+		s.tracer = trace.New(trace.Config{
+			Capacity:         cfg.TraceStoreSize,
+			SampleRate:       cfg.TraceSampleRate,
+			LatencyThreshold: cfg.TraceLatencyRetention,
+			OnFinish:         s.met.traceFinished,
+		})
+	}
 	return s
 }
 
@@ -182,6 +215,15 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.met.reg }
 
 // SlowLog exposes the slow-query log (served at /slow).
 func (s *Server) SlowLog() *SlowLog { return s.slow }
+
+// Traces exposes the tail-based trace store (served at /traces), or nil
+// when tracing is disabled (negative Config.TraceStoreSize).
+func (s *Server) Traces() *trace.Store {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Store()
+}
 
 // RegisterView registers (or replaces) a view and invalidates every cached
 // plan that was rewritten over its previous definition.
@@ -256,6 +298,10 @@ type QueryRequest struct {
 	// request stays sequential) when the server disables parallelism or
 	// the request asks for a trace.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Trace forces this request's trace to be retained regardless of the
+	// tail-based sampling decision, and echoes the trace ID in the
+	// response body; fetch the span tree from GET /traces/{id}.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryExplain is the EXPLAIN payload of a response: what the plan looks
@@ -293,17 +339,56 @@ type QueryResponse struct {
 	Workers int `json:"workers,omitempty"`
 	// Explain is present when the request set "explain": true.
 	Explain *QueryExplain `json:"explain,omitempty"`
+	// TraceID is present when the request set "trace": true: the retained
+	// trace's ID, fetchable from GET /traces/{id}. (Every HTTP response
+	// also carries it in the X-Smoqe-Trace-Id header; the body copy exists
+	// so it survives JSON-only plumbing.)
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Query answers one request, honoring ctx (and the configured request
 // timeout) for cancellation.
 func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	s.met.requests.Inc()
+	if req.Trace {
+		// Forced before any early return so even a failed traced request
+		// is fetchable from /traces.
+		trace.FromContext(ctx).Force()
+	}
 	resp, err := s.query(ctx, req)
 	if err != nil {
 		s.recordError(err)
+		s.traceError(ctx, err)
 	}
 	return resp, err
+}
+
+// traceError records a failed request's outcome on its root span: the
+// error itself (which makes the trace eligible for unconditional
+// retention) plus the classified event the tail-based rules key on —
+// shed, breaker-open, panic, failpoint, limit-exceeded.
+func (s *Server) traceError(ctx context.Context, err error) {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	sp.Error(err)
+	var boe *BreakerOpenError
+	var pe *guard.PanicError
+	var fe *failpoint.Error
+	var ele *smoqe.EvalLimitError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		sp.Event("shed")
+	case errors.As(err, &boe):
+		sp.Event("breaker-open", "view", boe.View)
+	case errors.As(err, &pe):
+		sp.Event("panic", "site", pe.Site)
+	case errors.As(err, &fe):
+		sp.Event("failpoint", "site", fe.Site)
+	case errors.As(err, &ele):
+		sp.Event("limit-exceeded", "what", ele.What)
+	}
 }
 
 // recordError classifies one failed request into the failure metrics:
@@ -347,15 +432,9 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 	default:
 		return nil, fmt.Errorf("server: unknown engine %q (want %q, %q or %q)", engine, EngineHyPE, EngineOptHyPE, EngineColumnar)
 	}
-	doc, ok := s.reg.Document(req.Doc)
-	if !ok {
-		return nil, fmt.Errorf("server: document %q not registered", req.Doc)
-	}
-	var view *ViewEntry
-	if req.View != "" {
-		if view, ok = s.reg.View(req.View); !ok {
-			return nil, fmt.Errorf("server: view %q not registered", req.View)
-		}
+	doc, view, err := s.resolve(ctx, req)
+	if err != nil {
+		return nil, err
 	}
 
 	// Circuit breaker: a view whose evaluations keep failing with server
@@ -370,26 +449,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 		s.brk.record(req.View, err != nil && isServerFault(err))
 	}()
 
-	key := PlanKey{View: req.View, Query: req.Query, Engine: engine}
-	plan, hit, err := s.cache.GetOrBuild(key, func() (*smoqe.PreparedQuery, error) {
-		if err := failpoint.Inject(failpoint.SiteServerPlanBuild); err != nil {
-			return nil, fmt.Errorf("server: query: %w", err)
-		}
-		var p *smoqe.PreparedQuery
-		var err error
-		if view != nil {
-			p, err = smoqe.PrepareStringOnView(view.View, req.Query)
-		} else {
-			p, err = smoqe.PrepareString(req.Query)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("server: query: %w", err)
-		}
-		// Budgets are armed once at build time; every evaluation borrows a
-		// clone that inherits them.
-		p.SetLimits(s.cfg.EvalLimits)
-		return p, nil
-	})
+	plan, hit, err := s.plan(ctx, req, view, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -441,7 +501,18 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 	s.met.skippedEle.Add(int64(resp.SkippedElements))
 	s.met.afaEvals.Add(int64(resp.AFAEvals))
 	s.met.observeQuery(req.View, engine, elapsed)
-	if s.slow.Record(slowEntry(req, engine, resp, time.Now())) {
+	traceID := ""
+	if tid := trace.FromContext(ctx).TraceID(); !tid.IsZero() {
+		traceID = tid.String()
+	}
+	if req.Trace {
+		resp.TraceID = traceID
+	}
+	// Slow-log entries carry the trace ID so a /slow line links directly
+	// to its trace: with the default TraceLatencyRetention (= the slow
+	// threshold) every slow query's trace is retained, since the root span
+	// outlasts the evaluation the threshold measured.
+	if s.slow.Record(slowEntry(req, engine, resp, time.Now(), traceID)) {
 		s.met.slowQueries.Inc()
 	}
 	if req.Explain {
@@ -466,6 +537,82 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 		return nil, ferr
 	}
 	return resp, nil
+}
+
+// resolve looks up the request's document and (optional) view — the
+// "registry" span of a traced request.
+func (s *Server) resolve(ctx context.Context, req QueryRequest) (*DocEntry, *ViewEntry, error) {
+	_, sp := trace.Start(ctx, "registry")
+	defer sp.End()
+	doc, ok := s.reg.Document(req.Doc)
+	if !ok {
+		err := fmt.Errorf("server: document %q not registered", req.Doc)
+		sp.Error(err)
+		return nil, nil, err
+	}
+	var view *ViewEntry
+	if req.View != "" {
+		if view, ok = s.reg.View(req.View); !ok {
+			err := fmt.Errorf("server: view %q not registered", req.View)
+			sp.Error(err)
+			return nil, nil, err
+		}
+	}
+	return doc, view, nil
+}
+
+// plan fetches or builds the request's prepared plan — the "plan" span of
+// a traced request, with the cache outcome (hit, single-flight build or
+// wait) recorded as an event.
+func (s *Server) plan(ctx context.Context, req QueryRequest, view *ViewEntry, engine EngineKind) (*smoqe.PreparedQuery, bool, error) {
+	ctx, sp := trace.Start(ctx, "plan")
+	defer sp.End()
+	key := PlanKey{View: req.View, Query: req.Query, Engine: engine}
+	plan, outcome, err := s.cache.GetOrBuildOutcome(key, func() (*smoqe.PreparedQuery, error) {
+		return s.buildPlan(ctx, req, view)
+	})
+	switch outcome {
+	case PlanCacheHit:
+		sp.Event("cache-hit")
+	case PlanCacheBuilt:
+		sp.Event("cache-miss-built")
+	case PlanCacheWaited:
+		sp.Event("cache-miss-waited")
+	}
+	if err != nil {
+		sp.Error(err)
+		return nil, false, err
+	}
+	return plan, outcome == PlanCacheHit, nil
+}
+
+// buildPlan runs the parse → rewrite → compile pipeline for one cache
+// miss — the "plan.build" span, which only the single-flight winner runs.
+func (s *Server) buildPlan(ctx context.Context, req QueryRequest, view *ViewEntry) (*smoqe.PreparedQuery, error) {
+	_, sp := trace.Start(ctx, "plan.build")
+	defer sp.End()
+	if err := failpoint.Inject(failpoint.SiteServerPlanBuild); err != nil {
+		sp.Event("failpoint", "site", failpoint.SiteServerPlanBuild)
+		err = fmt.Errorf("server: query: %w", err)
+		sp.Error(err)
+		return nil, err
+	}
+	var p *smoqe.PreparedQuery
+	var err error
+	if view != nil {
+		p, err = smoqe.PrepareStringOnView(view.View, req.Query)
+	} else {
+		p, err = smoqe.PrepareString(req.Query)
+	}
+	if err != nil {
+		err = fmt.Errorf("server: query: %w", err)
+		sp.Error(err)
+		return nil, err
+	}
+	// Budgets are armed once at build time; every evaluation borrows a
+	// clone that inherits them.
+	p.SetLimits(s.cfg.EvalLimits)
+	return p, nil
 }
 
 // explain assembles the EXPLAIN payload: the Theorem 5.1 accounting needs
@@ -495,6 +642,8 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	if s.sem == nil {
 		return func() {}, nil
 	}
+	_, sp := trace.Start(ctx, "admit")
+	defer sp.End()
 	release = func() { <-s.sem }
 	select {
 	case s.sem <- struct{}{}: // fast path: a slot is free
@@ -511,9 +660,13 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		return release, nil
 	case <-timer.C:
 		s.met.shed.Inc()
+		sp.Event("shed")
+		sp.Error(ErrOverloaded)
 		return nil, ErrOverloaded
 	case <-ctx.Done():
 		s.met.cancelled.Inc()
+		sp.Event("cancelled")
+		sp.Error(ctx.Err())
 		return nil, ctx.Err()
 	}
 }
@@ -553,6 +706,9 @@ type evalResult struct {
 // byte-identical to the pointer path; a traced columnar request falls back
 // to the pointer trace, and workers are ignored (the pass is sequential).
 func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool, workers int) (evalResult, error) {
+	ctx, sp := trace.Start(ctx, "eval")
+	defer sp.End()
+	sp.Attr("engine", string(engine))
 	var (
 		res evalResult
 		err error
@@ -589,8 +745,15 @@ func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *D
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.met.cancelled.Inc()
+			sp.Event("cancelled")
 		}
-		return evalResult{}, fmt.Errorf("server: query on %q: %w", doc.Name, err)
+		err = fmt.Errorf("server: query on %q: %w", doc.Name, err)
+		sp.Error(err)
+		return evalResult{}, err
+	}
+	if res.shards > 0 {
+		sp.AttrInt("shards", int64(res.shards))
+		sp.AttrInt("workers", int64(res.workers))
 	}
 	return res, nil
 }
@@ -680,6 +843,10 @@ func (s *Server) Health() HealthInfo {
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		h.Module = bi.Main.Path
 		h.Version = bi.Main.Version
+	}
+	if h.Version == "" {
+		// Match the smoqe_build_info gauge so dashboards can join the two.
+		h.Version = "(devel)"
 	}
 	return h
 }

@@ -17,6 +17,10 @@ type SlowQuery struct {
 	Count         int        `json:"count"`
 	Visited       int        `json:"visited_elements"`
 	CacheHit      bool       `json:"cache_hit"`
+	// TraceID links the entry to its request trace. Slow queries are always
+	// retained by the tracer (the latency threshold defaults to the slow-query
+	// threshold), so the trace is fetchable from GET /traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of queries slower than a
@@ -101,7 +105,7 @@ func (l *SlowLog) SnapshotWithTotal() ([]SlowQuery, int64) {
 }
 
 // slowEntry assembles a SlowQuery from one finished request.
-func slowEntry(req QueryRequest, engine EngineKind, resp *QueryResponse, now time.Time) SlowQuery {
+func slowEntry(req QueryRequest, engine EngineKind, resp *QueryResponse, now time.Time, traceID string) SlowQuery {
 	return SlowQuery{
 		Time:          now,
 		Doc:           req.Doc,
@@ -112,5 +116,6 @@ func slowEntry(req QueryRequest, engine EngineKind, resp *QueryResponse, now tim
 		Count:         resp.Count,
 		Visited:       resp.Visited,
 		CacheHit:      resp.CacheHit,
+		TraceID:       traceID,
 	}
 }

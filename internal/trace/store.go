@@ -1,0 +1,93 @@
+package trace
+
+import "sync"
+
+// Store is a mutex-guarded bounded collection of retained traces: FIFO
+// eviction once full, constant-time lookup by trace ID, plus the lifetime
+// retention counters behind GET /traces and the smoqe_trace_* metrics.
+// Stored *Data values are immutable after submission, so snapshots hand
+// out shared pointers. Safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	byID     map[TraceID]*Data // guarded by mu
+	order    []TraceID         // guarded by mu; insertion order, oldest first
+	retained int64             // guarded by mu; lifetime traces kept
+	dropped  int64             // guarded by mu; lifetime traces not kept
+	spans    int64             // guarded by mu; lifetime spans on finished traces
+}
+
+// NewStore returns a store holding at most capacity traces (minimum 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{capacity: capacity, byID: make(map[TraceID]*Data)}
+}
+
+// add submits one retained trace, evicting the oldest when over capacity.
+// Re-submitting an ID (possible when a remote caller reuses a trace ID)
+// replaces the stored trace without growing the eviction order.
+func (s *Store) add(id TraceID, d *Data) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		s.order = append(s.order, id)
+		for len(s.order) > s.capacity {
+			delete(s.byID, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.byID[id] = d
+}
+
+// account records one finished trace in the lifetime counters (kept or
+// not — add only sees the kept ones).
+func (s *Store) account(spans int, retained bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans += int64(spans)
+	if retained {
+		s.retained++
+	} else {
+		s.dropped++
+	}
+}
+
+// Get returns the stored trace with the given hex ID.
+func (s *Store) Get(id string) (*Data, bool) {
+	tid, err := ParseTraceID(id)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.byID[tid]
+	return d, ok
+}
+
+// Snapshot returns the retained traces, newest first.
+func (s *Store) Snapshot() []*Data {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Data, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.byID[s.order[i]])
+	}
+	return out
+}
+
+// Len returns how many traces the store currently holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Totals returns the lifetime counters: traces retained, traces dropped
+// by the tail-based decision, and spans recorded on finished traces.
+func (s *Store) Totals() (retained, dropped, spans int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retained, s.dropped, s.spans
+}

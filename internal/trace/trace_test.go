@@ -1,0 +1,377 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	ctx, sp := Start(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatalf("Start without a trace returned a span: %+v", sp)
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("context gained a span without a root")
+	}
+	// Every method must be callable on the nil span.
+	sp.Attr("k", "v")
+	sp.AttrInt("n", 1)
+	sp.Event("e", "k", "v")
+	sp.Error(errors.New("x"))
+	sp.Force()
+	sp.End()
+	if !sp.TraceID().IsZero() || !sp.ID().IsZero() {
+		t.Error("nil span has non-zero IDs")
+	}
+
+	var tr *Tracer
+	if _, sp := tr.StartRoot(context.Background(), "root", Traceparent{}); sp != nil {
+		t.Error("nil tracer started a span")
+	}
+}
+
+func TestSpanTreeAndForcedRetention(t *testing.T) {
+	tr := New(Config{SampleRate: -1})
+	ctx, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	root.Attr("method", "POST")
+	root.Force()
+
+	ctx2, child := Start(ctx, "eval")
+	child.AttrInt("workers", 4)
+
+	// Concurrent shard spans, like the parallel worker pool.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx2, "shard")
+			sp.Event("ran", "i", fmt.Sprint(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	child.End()
+	root.End()
+
+	d, ok := tr.Store().Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("forced trace not retained")
+	}
+	if d.Retained != RetainForced {
+		t.Errorf("retained = %q, want %q", d.Retained, RetainForced)
+	}
+	if d.Status != "ok" {
+		t.Errorf("status = %q, want ok", d.Status)
+	}
+	if d.Root != "http" {
+		t.Errorf("root = %q, want http", d.Root)
+	}
+	if len(d.Spans) != 10 {
+		t.Fatalf("got %d spans, want 10", len(d.Spans))
+	}
+
+	byID := make(map[string]SpanData)
+	var shardCount int
+	var rootID, evalID string
+	for _, sd := range d.Spans {
+		byID[sd.ID] = sd
+		switch sd.Name {
+		case "http":
+			rootID = sd.ID
+		case "eval":
+			evalID = sd.ID
+		case "shard":
+			shardCount++
+		}
+	}
+	if shardCount != 8 {
+		t.Errorf("got %d shard spans, want 8", shardCount)
+	}
+	if byID[evalID].Parent != rootID {
+		t.Errorf("eval's parent = %q, want root %q", byID[evalID].Parent, rootID)
+	}
+	for _, sd := range d.Spans {
+		if sd.Name == "shard" && sd.Parent != evalID {
+			t.Errorf("shard's parent = %q, want eval %q", sd.Parent, evalID)
+		}
+		// Children nest inside the root's window.
+		if sd.StartMicros < 0 || sd.StartMicros+sd.DurationMicros > d.DurationMicros+1 {
+			t.Errorf("span %s [%d, +%d] outside root window %d",
+				sd.Name, sd.StartMicros, sd.DurationMicros, d.DurationMicros)
+		}
+	}
+	if d.Spans[0].Name != "http" {
+		t.Errorf("first span by start offset = %q, want the root", d.Spans[0].Name)
+	}
+}
+
+func TestErrorRetention(t *testing.T) {
+	tr := New(Config{SampleRate: -1})
+	ctx, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	_, sp := Start(ctx, "eval")
+	sp.Error(errors.New("shard panic"))
+	sp.End()
+	root.End()
+
+	d, ok := tr.Store().Get(root.TraceID().String())
+	if !ok {
+		t.Fatal("failed trace not retained")
+	}
+	if d.Retained != RetainError || d.Status != "error" {
+		t.Errorf("retained=%q status=%q, want error/error", d.Retained, d.Status)
+	}
+	for _, sd := range d.Spans {
+		if sd.Name == "eval" && sd.Error != "shard panic" {
+			t.Errorf("eval span error = %q", sd.Error)
+		}
+	}
+}
+
+func TestLatencyRetention(t *testing.T) {
+	tr := New(Config{SampleRate: -1, LatencyThreshold: time.Nanosecond})
+	_, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	time.Sleep(time.Millisecond)
+	root.End()
+	d, ok := tr.Store().Get(root.TraceID().String())
+	if !ok || d.Retained != RetainLatency {
+		t.Fatalf("slow trace not retained by latency (ok=%v)", ok)
+	}
+}
+
+func TestSamplingBounds(t *testing.T) {
+	always := New(Config{SampleRate: 1})
+	_, root := always.StartRoot(context.Background(), "http", Traceparent{})
+	root.End()
+	if _, ok := always.Store().Get(root.TraceID().String()); !ok {
+		t.Error("SampleRate=1 dropped a trace")
+	}
+
+	never := New(Config{SampleRate: -1})
+	_, root = never.StartRoot(context.Background(), "http", Traceparent{})
+	root.End()
+	if _, ok := never.Store().Get(root.TraceID().String()); ok {
+		t.Error("SampleRate=-1 retained an unremarkable trace")
+	}
+	retained, dropped, spans := never.Store().Totals()
+	if retained != 0 || dropped != 1 || spans != 1 {
+		t.Errorf("totals = (%d, %d, %d), want (0, 1, 1)", retained, dropped, spans)
+	}
+}
+
+func TestBoundedAttrsEventsSpans(t *testing.T) {
+	tr := New(Config{SampleRate: -1, MaxSpansPerTrace: 4, MaxAttrsPerSpan: 2, MaxEventsPerSpan: 2})
+	ctx, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	root.Force()
+	for i := 0; i < 10; i++ {
+		root.Attr("k", "v")
+		root.Event("e")
+	}
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "child")
+		sp.End()
+	}
+	root.End()
+
+	d, _ := tr.Store().Get(root.TraceID().String())
+	if d == nil {
+		t.Fatal("forced trace missing")
+	}
+	// Root always recorded, so 4 bounded children + root.
+	if len(d.Spans) != 5 {
+		t.Errorf("got %d spans, want 5 (4 children + root)", len(d.Spans))
+	}
+	if d.DroppedSpans != 6 {
+		t.Errorf("dropped_spans = %d, want 6", d.DroppedSpans)
+	}
+	for _, sd := range d.Spans {
+		if sd.Name == "http" {
+			if len(sd.Attrs) != 2 || len(sd.Events) != 2 {
+				t.Errorf("bounds not applied: %d attrs, %d events", len(sd.Attrs), len(sd.Events))
+			}
+		}
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	_, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	root.End()
+	root.End()
+	root.End()
+	retained, dropped, _ := tr.Store().Totals()
+	if retained+dropped != 1 {
+		t.Errorf("double End finished the trace %d times", retained+dropped)
+	}
+}
+
+func TestOnFinishCallback(t *testing.T) {
+	var gotSpans int
+	var gotRetained bool
+	tr := New(Config{SampleRate: -1, OnFinish: func(spans int, retained bool) {
+		gotSpans, gotRetained = spans, retained
+	}})
+	ctx, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+	_, sp := Start(ctx, "child")
+	sp.End()
+	root.End()
+	if gotSpans != 2 || gotRetained {
+		t.Errorf("OnFinish(%d, %v), want (2, false)", gotSpans, gotRetained)
+	}
+}
+
+func TestRemoteParentAdopted(t *testing.T) {
+	tr := New(Config{SampleRate: -1})
+	remote, ok := ParseTraceparent("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	_, root := tr.StartRoot(context.Background(), "http", remote)
+	root.Force()
+	root.End()
+
+	d, ok := tr.Store().Get("0123456789abcdef0123456789abcdef")
+	if !ok {
+		t.Fatal("remote-parented trace not stored under the caller's ID")
+	}
+	if d.Spans[0].Parent != "00f067aa0ba902b7" {
+		t.Errorf("root's parent = %q, want the remote span", d.Spans[0].Parent)
+	}
+	// Root is still rendered as this trace's root: its parent span is not
+	// among the stored spans.
+	if d.Root != "http" {
+		t.Errorf("root name = %q", d.Root)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tp := Traceparent{Sampled: true}
+	copy(tp.TraceID[:], []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef})
+	copy(tp.SpanID[:], []byte{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7})
+	h := tp.String()
+	if h != "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01" {
+		t.Fatalf("String() = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tp {
+		t.Fatalf("round trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7",      // no flags
+		"01-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",   // wrong version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01",   // zero span id
+		"00-0123456789ABCDEF0123456789abcdef-00f067aa0ba902b7-01",   // uppercase hex
+		"00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-0g",   // bad flags
+		"00-0123456789abcdef0123456789abcdef_00f067aa0ba902b7-01",   // bad separator
+		"00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-x", // trailing junk
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted malformed traceparent %q", h)
+		}
+	}
+}
+
+func TestStoreEvictionAndLookup(t *testing.T) {
+	tr := New(Config{Capacity: 2, SampleRate: 1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+		ids = append(ids, root.TraceID().String())
+		root.End()
+	}
+	st := tr.Store()
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2", st.Len())
+	}
+	if _, ok := st.Get(ids[0]); ok {
+		t.Error("oldest trace not evicted")
+	}
+	snap := st.Snapshot()
+	if len(snap) != 2 || snap[0].TraceID != ids[2] || snap[1].TraceID != ids[1] {
+		t.Errorf("snapshot not newest-first: %v", []string{snap[0].TraceID, snap[1].TraceID})
+	}
+	if _, ok := st.Get("not-a-trace-id"); ok {
+		t.Error("Get accepted an unparseable ID")
+	}
+}
+
+// TestStoreConcurrentStress races writers (finishing traces, some with
+// concurrent shard spans) against snapshot readers; run under -race it is
+// the trace store's data-race gate.
+func TestStoreConcurrentStress(t *testing.T) {
+	tr := New(Config{Capacity: 16, SampleRate: 1})
+	const writers = 8
+	const perWriter = 50
+	var wg, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "http", Traceparent{})
+				ctx2, eval := Start(ctx, "eval")
+				var shards sync.WaitGroup
+				for s := 0; s < 3; s++ {
+					shards.Add(1)
+					go func() {
+						defer shards.Done()
+						_, sp := Start(ctx2, "shard")
+						sp.Event("ran")
+						sp.End()
+					}()
+				}
+				shards.Wait()
+				eval.End()
+				if i%7 == 0 {
+					root.Error(errors.New("injected"))
+				}
+				root.End()
+			}
+		}()
+	}
+	// Readers hammer Snapshot/Get/Totals while writers publish.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, d := range tr.Store().Snapshot() {
+					tr.Store().Get(d.TraceID)
+				}
+				tr.Store().Totals()
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	retained, dropped, spans := tr.Store().Totals()
+	if retained != writers*perWriter || dropped != 0 {
+		t.Errorf("totals: retained=%d dropped=%d, want %d/0", retained, dropped, writers*perWriter)
+	}
+	if want := int64(writers * perWriter * 5); spans != want {
+		t.Errorf("spans total = %d, want %d", spans, want)
+	}
+	if tr.Store().Len() != 16 {
+		t.Errorf("store len = %d, want capacity 16", tr.Store().Len())
+	}
+}

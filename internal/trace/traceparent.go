@@ -1,0 +1,72 @@
+package trace
+
+import "fmt"
+
+// Traceparent is the parsed form of a W3C trace-context header
+// (https://www.w3.org/TR/trace-context/): version 00, a 128-bit trace ID,
+// the caller's 64-bit span ID and the sampled flag.
+type Traceparent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// ParseTraceparent parses a version-00 traceparent header value,
+// "00-{32 lowercase hex}-{16 lowercase hex}-{2 hex flags}". Malformed or
+// all-zero values return the zero Traceparent and false — the caller
+// simply starts a fresh trace, per the spec's restart rule.
+func ParseTraceparent(h string) (Traceparent, bool) {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Traceparent{}, false
+	}
+	var tid TraceID
+	for i := 0; i < 16; i++ {
+		hi, ok1 := hexVal(h[3+2*i])
+		lo, ok2 := hexVal(h[4+2*i])
+		if !ok1 || !ok2 {
+			return Traceparent{}, false
+		}
+		tid[i] = hi<<4 | lo
+	}
+	if tid.IsZero() {
+		return Traceparent{}, false
+	}
+	var sid SpanID
+	for i := 0; i < 8; i++ {
+		hi, ok1 := hexVal(h[36+2*i])
+		lo, ok2 := hexVal(h[37+2*i])
+		if !ok1 || !ok2 {
+			return Traceparent{}, false
+		}
+		sid[i] = hi<<4 | lo
+	}
+	if sid.IsZero() {
+		return Traceparent{}, false
+	}
+	hi, ok1 := hexVal(h[53])
+	lo, ok2 := hexVal(h[54])
+	if !ok1 || !ok2 {
+		return Traceparent{}, false
+	}
+	return Traceparent{TraceID: tid, SpanID: sid, Sampled: (hi<<4|lo)&0x01 != 0}, true
+}
+
+// hexVal decodes one lowercase hex digit (the only case the spec allows).
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// String renders the version-00 header value.
+func (tp Traceparent) String() string {
+	flags := "00"
+	if tp.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", tp.TraceID, tp.SpanID, flags)
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Retention reasons recorded on a stored trace: why the tail-based
+// decision kept it.
+const (
+	// RetainForced: the request asked for its trace ("trace": true).
+	RetainForced = "forced"
+	// RetainError: some span failed (panic, injected fault, shed, breaker,
+	// exceeded budget, timeout — anything surfaced through Span.Error).
+	RetainError = "error"
+	// RetainLatency: the root span met the latency threshold.
+	RetainLatency = "latency"
+	// RetainSampled: an unremarkable trace kept by probabilistic sampling.
+	RetainSampled = "sampled"
+)
+
+// Config tunes a Tracer. The zero value of each bound falls back to the
+// default noted on the field.
+type Config struct {
+	// Capacity is how many retained traces the store holds before the
+	// oldest is evicted (default 256).
+	Capacity int
+	// SampleRate is the probability that a trace with nothing remarkable
+	// about it (no error, under the latency threshold, not forced) is
+	// retained anyway. <= 0 never samples; >= 1 retains everything.
+	SampleRate float64
+	// LatencyThreshold retains every trace whose root span ran at least
+	// this long; <= 0 disables latency-based retention.
+	LatencyThreshold time.Duration
+	// MaxSpansPerTrace bounds the spans one trace records; further
+	// non-root spans are counted as dropped (default 512).
+	MaxSpansPerTrace int
+	// MaxAttrsPerSpan bounds per-span attributes (default 16).
+	MaxAttrsPerSpan int
+	// MaxEventsPerSpan bounds per-span events (default 16).
+	MaxEventsPerSpan int
+	// OnFinish, when set, observes every finished trace: how many spans it
+	// recorded and whether tail-based retention kept it (metrics hook).
+	OnFinish func(spans int, retained bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity == 0 {
+		c.Capacity = 256
+	}
+	if c.MaxSpansPerTrace == 0 {
+		c.MaxSpansPerTrace = 512
+	}
+	if c.MaxAttrsPerSpan == 0 {
+		c.MaxAttrsPerSpan = 16
+	}
+	if c.MaxEventsPerSpan == 0 {
+		c.MaxEventsPerSpan = 16
+	}
+	return c
+}
+
+// Tracer starts root spans and owns the store finished traces land in.
+type Tracer struct {
+	cfg   Config
+	store *Store
+}
+
+// New returns a tracer with the given configuration.
+func New(cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{cfg: cfg, store: NewStore(cfg.Capacity)}
+}
+
+// Store returns the tracer's trace store (the /traces backing).
+func (t *Tracer) Store() *Store { return t.store }
+
+// StartRoot begins a new trace with its root span and returns a context
+// carrying it. A non-zero remote parent (from an incoming traceparent
+// header) is adopted: the new trace reuses the caller's trace ID and
+// links the root span under the caller's span. Nil tracers start nothing.
+func (t *Tracer) StartRoot(ctx context.Context, name string, remote Traceparent) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &activeTrace{tracer: t, start: time.Now()}
+	if remote.TraceID.IsZero() {
+		tr.id = newTraceID()
+	} else {
+		tr.id = remote.TraceID
+	}
+	s := &Span{
+		tr:     tr,
+		id:     newSpanID(),
+		parent: remote.SpanID,
+		root:   true,
+		name:   name,
+		start:  tr.start,
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// activeTrace accumulates the finished spans of one in-flight trace.
+// Spans on concurrent goroutines (shard workers) End against the same
+// trace, hence the lock.
+type activeTrace struct {
+	tracer *Tracer
+	id     TraceID
+	start  time.Time
+
+	mu       sync.Mutex
+	spans    []SpanData // guarded by mu; finished spans, End order
+	dropped  int        // guarded by mu; spans lost to MaxSpansPerTrace
+	forced   bool       // guarded by mu; unconditional retention requested
+	failed   bool       // guarded by mu; some span ended with an error
+	rootName string     // guarded by mu; the root span's name, set by its End
+}
+
+// record publishes one ended span's snapshot. The root span is always
+// recorded (the trace is useless without it); other spans beyond the
+// bound are counted as dropped.
+func (tr *activeTrace) record(s *Span, d time.Duration) {
+	data := SpanData{
+		ID:             s.id.String(),
+		Name:           s.name,
+		StartMicros:    s.start.Sub(tr.start).Microseconds(),
+		DurationMicros: d.Microseconds(),
+		Attrs:          s.attrs,
+		Events:         s.events,
+		Error:          s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		data.Parent = s.parent.String()
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if s.errMsg != "" {
+		tr.failed = true
+	}
+	if s.root {
+		tr.rootName = s.name
+	}
+	if !s.root && len(tr.spans) >= tr.tracer.cfg.MaxSpansPerTrace {
+		tr.dropped++
+		return
+	}
+	tr.spans = append(tr.spans, data)
+}
+
+// force requests unconditional retention.
+func (tr *activeTrace) force() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.forced = true
+}
+
+// finish runs the tail-based retention decision once the root span has
+// ended, submits kept traces to the store, and accounts the rest.
+func (tr *activeTrace) finish(rootDur time.Duration) {
+	t := tr.tracer
+	tr.mu.Lock()
+	spans := tr.spans
+	dropped := tr.dropped
+	forced := tr.forced
+	failed := tr.failed
+	root := tr.rootName
+	tr.mu.Unlock()
+
+	reason := ""
+	switch {
+	case forced:
+		reason = RetainForced
+	case failed:
+		reason = RetainError
+	case t.cfg.LatencyThreshold > 0 && rootDur >= t.cfg.LatencyThreshold:
+		reason = RetainLatency
+	case t.cfg.SampleRate > 0 && rand.Float64() < t.cfg.SampleRate:
+		reason = RetainSampled
+	}
+	if reason != "" {
+		sort.SliceStable(spans, func(i, j int) bool {
+			return spans[i].StartMicros < spans[j].StartMicros
+		})
+		status := "ok"
+		if failed {
+			status = "error"
+		}
+		t.store.add(tr.id, &Data{
+			TraceID:        tr.id.String(),
+			Root:           root,
+			Start:          tr.start,
+			DurationMicros: rootDur.Microseconds(),
+			Status:         status,
+			Retained:       reason,
+			DroppedSpans:   dropped,
+			Spans:          spans,
+		})
+	}
+	t.store.account(len(spans), reason != "")
+	if t.cfg.OnFinish != nil {
+		t.cfg.OnFinish(len(spans), reason != "")
+	}
+}
+
+// SpanData is one finished span as stored and served: offsets and
+// durations in microseconds relative to the trace start.
+type SpanData struct {
+	ID             string  `json:"id"`
+	Parent         string  `json:"parent,omitempty"`
+	Name           string  `json:"name"`
+	StartMicros    int64   `json:"start_us"`
+	DurationMicros int64   `json:"duration_us"`
+	Attrs          []Attr  `json:"attrs,omitempty"`
+	Events         []Event `json:"events,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// Data is one retained trace: the root summary plus every span, sorted by
+// start offset (the root first).
+type Data struct {
+	TraceID        string     `json:"trace_id"`
+	Root           string     `json:"root"`
+	Start          time.Time  `json:"start"`
+	DurationMicros int64      `json:"duration_us"`
+	Status         string     `json:"status"`
+	Retained       string     `json:"retained"`
+	DroppedSpans   int        `json:"dropped_spans,omitempty"`
+	Spans          []SpanData `json:"spans"`
+}

@@ -10,6 +10,7 @@ import (
 	"smoqe/internal/hype"
 	"smoqe/internal/mfa"
 	"smoqe/internal/rewrite"
+	"smoqe/internal/trace"
 )
 
 // PreparedQuery is a query that has been parsed, (optionally) rewritten
@@ -287,6 +288,8 @@ func (p *PreparedQuery) EvalIndexedTraced(ctx *Node, idx *Index, limit int) ([]*
 // shared by all subsequent evaluations against the same document. Safe for
 // concurrent use.
 func (p *PreparedQuery) EvalColumnarCtx(ctx context.Context, cd *ColumnarDocument) ([]int, EngineStats, error) {
+	ctx, sp := trace.Start(ctx, "eval.columnar")
+	defer sp.End()
 	b := p.colBinding(cd)
 	var ids []int
 	var st EngineStats
@@ -297,6 +300,8 @@ func (p *PreparedQuery) EvalColumnarCtx(ctx context.Context, cd *ColumnarDocumen
 	})
 	if err == nil {
 		p.account(st)
+	} else {
+		sp.Error(err)
 	}
 	return ids, st, err
 }
@@ -359,6 +364,8 @@ func (p *PreparedQuery) EvalTaggedWithStats(ctx *Node) ([][]*Node, EngineStats) 
 // aborted run. Cancelled runs are not counted in Stats(). Safe for
 // concurrent use.
 func (p *PreparedQuery) EvalCtx(ctx context.Context, n *Node) ([]*Node, EngineStats, error) {
+	ctx, sp := trace.Start(ctx, "eval.hype")
+	defer sp.End()
 	var res []*Node
 	var st EngineStats
 	err := p.withEngine(p.pool, func(e *Engine) error {
@@ -368,6 +375,8 @@ func (p *PreparedQuery) EvalCtx(ctx context.Context, n *Node) ([]*Node, EngineSt
 	})
 	if err == nil {
 		p.account(st)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, err
 }
@@ -375,6 +384,8 @@ func (p *PreparedQuery) EvalCtx(ctx context.Context, n *Node) ([]*Node, EngineSt
 // EvalIndexedCtx is EvalIndexedWithStats honoring context cancellation
 // (see EvalCtx).
 func (p *PreparedQuery) EvalIndexedCtx(ctx context.Context, n *Node, idx *Index) ([]*Node, EngineStats, error) {
+	ctx, sp := trace.Start(ctx, "eval.opthype")
+	defer sp.End()
 	var res []*Node
 	var st EngineStats
 	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
@@ -384,6 +395,8 @@ func (p *PreparedQuery) EvalIndexedCtx(ctx context.Context, n *Node, idx *Index)
 	})
 	if err == nil {
 		p.account(st)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, err
 }
@@ -407,6 +420,8 @@ func (p *PreparedQuery) EvalTaggedCtx(ctx context.Context, n *Node) ([][]*Node, 
 // EvalTracedCtx is EvalTraced honoring context cancellation (see EvalCtx);
 // the partial trace of an aborted run is still returned.
 func (p *PreparedQuery) EvalTracedCtx(ctx context.Context, n *Node, limit int) ([]*Node, EngineStats, *Trace, error) {
+	ctx, sp := trace.Start(ctx, "eval.traced")
+	defer sp.End()
 	var res []*Node
 	var st EngineStats
 	var tr *Trace
@@ -417,6 +432,8 @@ func (p *PreparedQuery) EvalTracedCtx(ctx context.Context, n *Node, limit int) (
 	})
 	if err == nil {
 		p.account(st)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, tr, err
 }
@@ -424,6 +441,8 @@ func (p *PreparedQuery) EvalTracedCtx(ctx context.Context, n *Node, limit int) (
 // EvalIndexedTracedCtx is EvalIndexedTraced honoring context cancellation
 // (see EvalCtx).
 func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *Index, limit int) ([]*Node, EngineStats, *Trace, error) {
+	ctx, sp := trace.Start(ctx, "eval.traced")
+	defer sp.End()
 	var res []*Node
 	var st EngineStats
 	var tr *Trace
@@ -434,6 +453,8 @@ func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *
 	})
 	if err == nil {
 		p.account(st)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, tr, err
 }
@@ -445,6 +466,8 @@ func (p *PreparedQuery) EvalIndexedTracedCtx(ctx context.Context, n *Node, idx *
 // engine acts as the sequential planner; its workers run on private
 // clones, so concurrent EvalParallelCtx calls are safe just like Eval.
 func (p *PreparedQuery) EvalParallelCtx(ctx context.Context, n *Node, workers int) ([]*Node, ParallelStats, error) {
+	ctx, sp := trace.Start(ctx, "eval.parallel")
+	defer sp.End()
 	var res []*Node
 	var st ParallelStats
 	err := p.withEngine(p.pool, func(e *Engine) error {
@@ -454,6 +477,8 @@ func (p *PreparedQuery) EvalParallelCtx(ctx context.Context, n *Node, workers in
 	})
 	if err == nil {
 		p.account(st.Stats)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, err
 }
@@ -461,6 +486,8 @@ func (p *PreparedQuery) EvalParallelCtx(ctx context.Context, n *Node, workers in
 // EvalIndexedParallelCtx is EvalParallelCtx with OptHyPE against idx; the
 // index additionally gives the shard planner exact subtree sizes.
 func (p *PreparedQuery) EvalIndexedParallelCtx(ctx context.Context, n *Node, idx *Index, workers int) ([]*Node, ParallelStats, error) {
+	ctx, sp := trace.Start(ctx, "eval.parallel")
+	defer sp.End()
 	var res []*Node
 	var st ParallelStats
 	err := p.withEngine(p.indexPool(idx), func(e *Engine) error {
@@ -470,6 +497,8 @@ func (p *PreparedQuery) EvalIndexedParallelCtx(ctx context.Context, n *Node, idx
 	})
 	if err == nil {
 		p.account(st.Stats)
+	} else {
+		sp.Error(err)
 	}
 	return res, st, err
 }
