@@ -84,6 +84,8 @@ func runExplain(w io.Writer, qsrc string, v *smoqe.View, doc *smoqe.Document, en
 	fmt.Fprintf(w, "  selecting NFA: %d states, %d edges\n", pe.NFAStates, pe.NFAEdges)
 	fmt.Fprintf(w, "  AFAs: %d (%d states, %d edges)\n", pe.AFACount, pe.AFAStates, pe.AFAEdges)
 	fmt.Fprintf(w, "  |M| = %d, size bound = %d (ratio %.3f)\n", pe.MFASize, pe.Bound, ratio(pe.MFASize, pe.Bound))
+	fmt.Fprintf(w, "  compiled: alphabet %d, NFA set %d word(s), AFA set %d word(s), DFA cache cap %d\n",
+		pe.Compiled.Alphabet, pe.Compiled.NFAWords, pe.Compiled.AFAWords, pe.Compiled.DFACacheCap)
 	if print {
 		fmt.Fprintln(w, m)
 	}
@@ -136,6 +138,14 @@ func runExplain(w io.Writer, qsrc string, v *smoqe.View, doc *smoqe.Document, en
 	}
 	fmt.Fprintf(w, "\n  %d AFA evaluations, cans DAG: %d vertices / %d edges\n",
 		st.AFAEvaluations, st.CansVertices, st.CansEdges)
+	if cs := tr.Compiled; cs != nil && cs.Enabled {
+		mode := "subset DFA"
+		if cs.DFAFallback {
+			mode = "NFA-simulation fallback"
+		}
+		fmt.Fprintf(w, "  compiled run (%s): %d subset state(s) built, %d hit(s) / %d miss(es), %d flush(es)\n",
+			mode, cs.DFAStates, cs.DFAHits, cs.DFAMisses, cs.DFAFlushes)
+	}
 	if traceLimit > 0 {
 		fmt.Fprintf(w, "trace (first %d events):\n", len(tr.Events))
 		for _, ev := range tr.Events {

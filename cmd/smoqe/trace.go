@@ -113,8 +113,17 @@ func renderTrace(d *trace.Data) string {
 	}
 	var walk func(s trace.SpanData, depth int)
 	walk = func(s trace.SpanData, depth int) {
-		fmt.Fprintf(&b, "%s%s  +%dµs  %dµs", strings.Repeat("  ", depth+1),
-			s.Name, s.StartMicros, s.DurationMicros)
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth+1), s.Name)
+		// An orphan — a span whose parent was dropped (ring overflow) or
+		// never submitted — renders as a synthetic root, but marked: its
+		// +offset is relative to the trace, not to a visible parent, and
+		// reading it as a true root would misattribute the whole subtree.
+		// The trace's designated root (d.Root) is exempt: a root adopted
+		// under a remote caller legitimately has an out-of-trace parent.
+		if depth == 0 && s.Parent != "" && s.Name != d.Root {
+			fmt.Fprintf(&b, "  (orphan: parent %s not in trace)", s.Parent)
+		}
+		fmt.Fprintf(&b, "  +%dµs  %dµs", s.StartMicros, s.DurationMicros)
 		for _, a := range s.Attrs {
 			fmt.Fprintf(&b, "  %s=%s", a.Key, a.Value)
 		}

@@ -70,4 +70,46 @@ func TestRenderTraceAdoptedRoot(t *testing.T) {
 	if !strings.Contains(out, "\n  http  +0µs  10µs\n") {
 		t.Errorf("adopted root not rendered at depth 1:\n%s", out)
 	}
+	if strings.Contains(out, "orphan") {
+		t.Errorf("adopted root wrongly marked as orphan:\n%s", out)
+	}
+}
+
+// TestRenderTraceOrphanMarked: a span whose parent was dropped (ring
+// overflow) or never submitted still renders — as a synthetic root carrying
+// an explicit orphan marker naming the missing parent — and keeps its own
+// children nested beneath it. The true root stays unmarked.
+func TestRenderTraceOrphanMarked(t *testing.T) {
+	d := &trace.Data{
+		TraceID: "abababababababababababababababab", Root: "http", Status: "ok",
+		Retained: "sampled", DurationMicros: 900, DroppedSpans: 1,
+		Spans: []trace.SpanData{
+			{ID: "aaaaaaaaaaaaaaaa", Name: "http", StartMicros: 0, DurationMicros: 900},
+			{ID: "bbbbbbbbbbbbbbbb", Parent: "aaaaaaaaaaaaaaaa", Name: "plan",
+				StartMicros: 10, DurationMicros: 50},
+			// "eval"'s parent span was dropped: it is an orphan, and its
+			// child must still nest under it.
+			{ID: "cccccccccccccccc", Parent: "deaddeaddeaddead", Name: "eval",
+				StartMicros: 100, DurationMicros: 700},
+			{ID: "dddddddddddddddd", Parent: "cccccccccccccccc", Name: "hype.shard",
+				StartMicros: 150, DurationMicros: 600},
+		},
+	}
+	out := renderTrace(d)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "  http  +0µs") || strings.Contains(lines[1], "orphan") {
+		t.Errorf("true root line = %q (must be unmarked)", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "  eval  (orphan: parent deaddeaddeaddead not in trace)  +100µs  700µs") {
+		t.Errorf("orphan line = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "    hype.shard  +150µs  600µs") {
+		t.Errorf("orphan's child not nested: %q", lines[4])
+	}
+	if strings.Count(out, "orphan") != 1 {
+		t.Errorf("orphan marker count != 1:\n%s", out)
+	}
 }

@@ -1,5 +1,7 @@
 package smoqe
 
+import "smoqe/internal/hype"
+
 // PlanExplain is the size accounting of one compiled or rewritten plan —
 // the numbers behind Theorem 5.1: the rewritten automaton has size
 // O(|Q||σ||D_V|), so the report carries each factor next to the measured
@@ -26,6 +28,14 @@ type PlanExplain struct {
 	AFAStates int `json:"afa_states"`
 	AFAEdges  int `json:"afa_edges"`
 	MFASize   int `json:"mfa_size"`
+	// Compiled is the static sizing of the compiled evaluation layer for
+	// this automaton: the interned transition alphabet, the uint64 words
+	// encoding the NFA and AFA state sets, and the subset-state cache cap
+	// that bounds the lazily built DFA (the full subset automaton may have
+	// up to 2^NFAStates states — the cache cap plus eviction is what keeps
+	// the Theorem 5.1 accounting finite at run time). Per-run counters
+	// appear on traced runs as Trace.Compiled.
+	Compiled CompiledStats `json:"compiled"`
 }
 
 // ExplainPlan computes the size accounting for an automaton m that was
@@ -50,5 +60,6 @@ func ExplainPlan(q Query, v *View, m *MFA) PlanExplain {
 	pe.AFAStates = st.AFAStates
 	pe.AFAEdges = st.AFAEdges
 	pe.MFASize = st.Size
+	pe.Compiled = hype.CompiledPlan(m)
 	return pe
 }

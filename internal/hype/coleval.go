@@ -40,6 +40,16 @@ type ColBinding struct {
 	// its child step: -1 for a wildcard, -2 for a label absent from the
 	// document (never matches). Non-TRANS entries are -2.
 	afaTrans [][]int32
+
+	// progLab maps document label ids to the compiled program's label ids
+	// (-1 for labels the automaton never mentions — the shared "other"
+	// class); it depends only on the MFA and the document, never on an
+	// engine, because internLabels is a deterministic function of the MFA.
+	// colTrans marks the NFA states with at least one transition the
+	// document can fire (dead edges on absent labels dropped) — the
+	// columnar has-transitions test of the compiled path.
+	progLab  []int32
+	colTrans nfaSet
 }
 
 // BindColumnar builds the binding between the engine's automaton and cd.
@@ -84,6 +94,26 @@ func BindColumnar(m *mfa.MFA, cd *colstore.Document) *ColBinding {
 			}
 		}
 		b.afaTrans[g] = labels
+	}
+	words := (m.NumStates() + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	b.colTrans = make(nfaSet, words)
+	for s := range b.nfaTrans {
+		if len(b.nfaTrans[s]) > 0 {
+			b.colTrans.set(s)
+		}
+	}
+	interned := internLabels(m)
+	b.progLab = make([]int32, cd.NumLabels())
+	for i := range b.progLab {
+		b.progLab[i] = -1
+	}
+	for lab, pid := range interned {
+		if id, ok := cd.LabelIDOf(lab); ok {
+			b.progLab[id] = pid
+		}
 	}
 	return b
 }
@@ -135,11 +165,21 @@ func (e *Engine) runCol(cctx context.Context, b *ColBinding) ([]cand, Stats, err
 	if e.limits.active() {
 		r.bud = &budget{}
 	}
-	ms := r.getNFASet()
-	ms.set(e.m.Start)
-	r.closeNFA(ms)
-	seeds := r.guardSeeds(ms)
-	res := r.visitCol(b, b.cd.At(0), 0, ms, seeds)
+	var res visitResult
+	if e.Compiled() {
+		d := e.ensureDFA()
+		pre := d.snap()
+		root, seeds := r.rootStateC()
+		res = r.visitColC(b, b.cd.At(0), 0, root, seeds)
+		e.lastCompiled = d.delta(pre)
+	} else {
+		e.lastCompiled = CompiledStats{}
+		ms := r.getNFASet()
+		ms.set(e.m.Start)
+		r.closeNFA(ms)
+		seeds := r.guardSeeds(ms)
+		res = r.visitCol(b, b.cd.At(0), 0, ms, seeds)
+	}
 	if r.cancelled {
 		e.stats = r.stats
 		err := r.limitErr

@@ -49,6 +49,17 @@ type Engine struct {
 	// value is unlimited. Shared with clones, enforced per run.
 	limits Limits
 
+	// prog is the compiled evaluation program (compile.go), immutable and
+	// shared by clones; dfa is this clone's lazy subset-automaton cache
+	// (never shared — Clone resets it). compiledOff disarms the compiled
+	// path (SetCompiled), dfaCap overrides the cache bound for tests, and
+	// lastCompiled keeps the most recent run's compiled-layer statistics.
+	prog         *program
+	dfa          *dfaCache
+	dfaCap       int
+	compiledOff  bool
+	lastCompiled CompiledStats
+
 	stats Stats
 }
 
@@ -114,6 +125,8 @@ func (e *Engine) Clone() *Engine {
 	}
 	c.aliveByKey = nil
 	c.aliveByW = nil
+	c.dfa = nil
+	c.lastCompiled = CompiledStats{}
 	return &c
 }
 
@@ -156,6 +169,7 @@ func (e *Engine) precompute() {
 	for i, a := range e.m.AFAs {
 		e.afaClosure[i] = buildAFAMeta(a)
 	}
+	e.prog = buildProgram(e)
 }
 
 // fixpointReach marks, in marked, every state from which a marked state is
@@ -340,11 +354,25 @@ func (e *Engine) run(cctx context.Context, ctx *xmltree.Node, tr *Trace) ([]cand
 	if e.limits.active() {
 		r.bud = &budget{}
 	}
-	ms := r.getNFASet()
-	ms.set(e.m.Start)
-	r.closeNFA(ms)
-	seeds := r.guardSeeds(ms)
-	res := r.visit(ctx, ms, seeds)
+	var res visitResult
+	if e.Compiled() {
+		d := e.ensureDFA()
+		pre := d.snap()
+		root, seeds := r.rootStateC()
+		res = r.visitC(ctx, root, seeds)
+		e.lastCompiled = d.delta(pre)
+		if tr != nil {
+			cs := e.lastCompiled
+			tr.Compiled = &cs
+		}
+	} else {
+		e.lastCompiled = CompiledStats{}
+		ms := r.getNFASet()
+		ms.set(e.m.Start)
+		r.closeNFA(ms)
+		seeds := r.guardSeeds(ms)
+		res = r.visit(ctx, ms, seeds)
+	}
 	if r.cancelled {
 		e.stats = r.stats
 		err := r.limitErr

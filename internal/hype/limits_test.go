@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"smoqe/internal/colstore"
 	"smoqe/internal/datagen"
 	"smoqe/internal/failpoint"
 	"smoqe/internal/guard"
@@ -144,6 +145,53 @@ func TestShardWorkerErrorFailpoint(t *testing.T) {
 	var fe *failpoint.Error
 	if !errors.As(err, &fe) {
 		t.Fatalf("err = %v, want *failpoint.Error", err)
+	}
+}
+
+// TestColumnarLimitsMatchPointer is the satellite audit of EvalLimits on the
+// columnar path: at any budget, pointer and columnar evaluation must trip
+// the SAME limit (same *LimitError What/Limit) at the SAME point — both
+// paths flush consumption in identical cancelCheckInterval quanta over the
+// identical preorder DFS, so even the partial visited counts of aborted
+// runs must agree. Checked compiled and interpreted.
+func TestColumnarLimitsMatchPointer(t *testing.T) {
+	doc := datagen.Generate(datagen.DefaultConfig(500))
+	cd := colstore.FromTree(doc)
+	queries := []string{"//diagnosis", "**", "department/patient[visit]/pname"}
+	budgets := []hype.Limits{
+		{MaxVisited: 256},
+		{MaxVisited: 512},
+		{MaxVisited: 1 << 30}, // generous: neither path may trip
+		{MaxResultNodes: 50},
+		{MaxResultNodes: 1 << 30},
+		{MaxVisited: 512, MaxResultNodes: 50},
+	}
+	for _, src := range queries {
+		for _, l := range budgets {
+			for _, compiled := range []bool{true, false} {
+				ptr := limitEngine(t, src, l)
+				ptr.SetCompiled(compiled)
+				_, ptrStats, ptrErr := ptr.EvalCtx(context.Background(), doc.Root)
+
+				col := limitEngine(t, src, l)
+				col.SetCompiled(compiled)
+				_, colStats, colErr := col.EvalColumnarCtx(context.Background(), col.BindColumnar(cd))
+
+				var ptrLE, colLE *hype.LimitError
+				if errors.As(ptrErr, &ptrLE) != errors.As(colErr, &colLE) {
+					t.Fatalf("%q limits=%+v compiled=%v: pointer err=%v, columnar err=%v",
+						src, l, compiled, ptrErr, colErr)
+				}
+				if ptrLE != nil && (ptrLE.What != colLE.What || ptrLE.Limit != colLE.Limit) {
+					t.Errorf("%q limits=%+v compiled=%v: pointer %+v vs columnar %+v",
+						src, l, compiled, ptrLE, colLE)
+				}
+				if ptrStats.VisitedElements != colStats.VisitedElements {
+					t.Errorf("%q limits=%+v compiled=%v: visited %d (pointer) vs %d (columnar)",
+						src, l, compiled, ptrStats.VisitedElements, colStats.VisitedElements)
+				}
+			}
+		}
 	}
 }
 

@@ -54,6 +54,9 @@ type Trace struct {
 	Events []TraceEvent `json:"events"`
 	// Dropped counts events beyond Limit that were discarded.
 	Dropped int `json:"dropped"`
+	// Compiled carries the run's compiled-layer statistics (subset-state
+	// cache counters, bitset sizing); nil when the run was interpreted.
+	Compiled *CompiledStats `json:"compiled,omitempty"`
 }
 
 func (t *Trace) add(n *xmltree.Node, kind TraceKind, detail string) {

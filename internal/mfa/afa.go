@@ -304,6 +304,18 @@ func (a *AFA) computeSCCs() {
 	}
 }
 
+// SCCOrder exposes the frozen evaluation order: the strongly connected
+// components of the same-node subgraph, children before parents, together
+// with the per-component cyclic flags. Compiled evaluators (package hype)
+// replay this order instruction by instruction; the returned slices are the
+// AFA's own and must not be modified.
+func (a *AFA) SCCOrder() (comps [][]int, cyclic []bool) {
+	if !a.frozen {
+		panic("mfa: SCCOrder on unfrozen AFA")
+	}
+	return a.sccs, a.cyclic
+}
+
 // EvalAt computes the truth vector of all AFA states at node n, given
 // transVals: for each TRANS state s, transVals[s] must already hold the
 // disjunction over n's matching element children c of the value of the

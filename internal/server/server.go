@@ -337,6 +337,14 @@ type QueryResponse struct {
 	// document; both are zero for sequential runs.
 	Shards  int `json:"shards,omitempty"`
 	Workers int `json:"workers,omitempty"`
+	// Engine is the engine that actually evaluated the request. It normally
+	// echoes the requested engine; when the server substituted another path
+	// (a traced/EXPLAIN columnar request runs on the pointer evaluator),
+	// FallbackFrom names the engine that was asked for and FallbackReason
+	// says why the substitution happened.
+	Engine         EngineKind `json:"engine"`
+	FallbackFrom   EngineKind `json:"fallback_from,omitempty"`
+	FallbackReason string     `json:"fallback_reason,omitempty"`
 	// Explain is present when the request set "explain": true.
 	Explain *QueryExplain `json:"explain,omitempty"`
 	// TraceID is present when the request set "trace": true: the retained
@@ -491,6 +499,9 @@ func (s *Server) query(ctx context.Context, req QueryRequest) (resp *QueryRespon
 		AFAEvals:        res.stats.AFAEvaluations,
 		Shards:          res.shards,
 		Workers:         res.workers,
+		Engine:          res.engine,
+		FallbackFrom:    res.fallbackFrom,
+		FallbackReason:  res.fallbackReason,
 	}
 	if res.shards > 0 {
 		s.met.parallelEvals.Inc()
@@ -693,7 +704,20 @@ type evalResult struct {
 	trace   *smoqe.Trace
 	shards  int
 	workers int
+	// engine is the engine that actually evaluated the request. When it
+	// differs from the requested one (a traced columnar request runs on
+	// the pointer path), fallbackFrom names the requested engine and
+	// fallbackReason says why — the substitution is recorded, not silent.
+	engine         EngineKind
+	fallbackFrom   EngineKind
+	fallbackReason string
 }
+
+// fallbackReasonTrace is why a traced columnar request runs on the pointer
+// path: the per-node decision log is produced by the tree-walking
+// evaluator, and the columnar pass replays the identical decisions, so the
+// pointer trace is authoritative for both.
+const fallbackReasonTrace = "trace requires the pointer evaluator"
 
 // evaluate runs the plan against the document synchronously, honoring ctx:
 // the engine polls the context and aborts the DFS promptly when the client
@@ -704,7 +728,9 @@ type evalResult struct {
 // the document's columnar form (built lazily or loaded from a snapshot)
 // and map the preorder-id answers back to nodes, so responses are
 // byte-identical to the pointer path; a traced columnar request falls back
-// to the pointer trace, and workers are ignored (the pass is sequential).
+// to the pointer trace — recorded in the result (engine/fallbackFrom) and
+// as an engine-fallback span event — and workers are ignored (the pass is
+// sequential).
 func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *DocEntry, engine EngineKind, traced bool, workers int) (evalResult, error) {
 	ctx, sp := trace.Start(ctx, "eval")
 	defer sp.End()
@@ -713,10 +739,18 @@ func (s *Server) evaluate(ctx context.Context, plan *smoqe.PreparedQuery, doc *D
 		res evalResult
 		err error
 	)
+	res.engine = engine
 	switch {
 	case engine == EngineOptHyPE && traced:
 		res.nodes, res.stats, res.trace, err = plan.EvalIndexedTracedCtx(ctx, doc.Doc.Root, doc.Index(), s.cfg.TraceLimit)
 	case traced:
+		if engine == EngineColumnar {
+			res.engine = EngineHyPE
+			res.fallbackFrom = EngineColumnar
+			res.fallbackReason = fallbackReasonTrace
+			sp.Event("engine-fallback",
+				"from", string(EngineColumnar), "to", string(EngineHyPE), "reason", fallbackReasonTrace)
+		}
 		res.nodes, res.stats, res.trace, err = plan.EvalTracedCtx(ctx, doc.Doc.Root, s.cfg.TraceLimit)
 	case engine == EngineColumnar:
 		cd, byID := doc.Columnar()

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -88,6 +89,64 @@ func TestColumnarOnViewAndExplain(t *testing.T) {
 	}
 	if exp.Explain == nil || exp.Explain.Trace == nil {
 		t.Error("explain with columnar engine returned no trace (pointer fallback broken)")
+	}
+}
+
+// TestColumnarExplainFallbackRecorded: the columnar→pointer substitution a
+// traced (EXPLAIN) columnar request undergoes must be visible, not silent —
+// in the response (engine/fallback_from/fallback_reason) and as an
+// engine-fallback event on the eval span of the request's trace.
+func TestColumnarExplainFallbackRecorded(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Plain columnar: no substitution, no fallback fields.
+	plain, err := s.Query(context.Background(), QueryRequest{
+		Doc: "hospital", Query: "//diagnosis", Engine: EngineColumnar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Engine != EngineColumnar || plain.FallbackFrom != "" || plain.FallbackReason != "" {
+		t.Errorf("plain columnar response: engine=%q fallback_from=%q reason=%q",
+			plain.Engine, plain.FallbackFrom, plain.FallbackReason)
+	}
+
+	// Columnar + explain over HTTP: 200, pointer engine reported with the
+	// requested engine and the reason, and the span event in the trace.
+	req := QueryRequest{Doc: "hospital", Query: "//diagnosis",
+		Engine: EngineColumnar, Explain: true, Trace: true}
+	resp, body := postJSON(t, ts, "/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query (columnar+explain): %d %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Engine != EngineHyPE {
+		t.Errorf("engine = %q, want %q (pointer fallback)", qr.Engine, EngineHyPE)
+	}
+	if qr.FallbackFrom != EngineColumnar {
+		t.Errorf("fallback_from = %q, want %q", qr.FallbackFrom, EngineColumnar)
+	}
+	if qr.FallbackReason == "" {
+		t.Error("fallback_reason empty: the substitution is silent")
+	}
+	if qr.Explain == nil || qr.Explain.Trace == nil {
+		t.Fatal("explain payload missing on the fallback path")
+	}
+	if qr.TraceID == "" {
+		t.Fatal("traced request carries no trace_id")
+	}
+	d := waitForTrace(t, s, qr.TraceID)
+	if !spanHasEvent(d, "eval", "engine-fallback") {
+		t.Error("eval span lacks the engine-fallback event")
+	}
+
+	// The fallback must still answer exactly like the requested engine.
+	if fmt.Sprint(qr.IDs) != fmt.Sprint(plain.IDs) {
+		t.Errorf("fallback IDs %v differ from columnar IDs %v", qr.IDs, plain.IDs)
 	}
 }
 

@@ -60,6 +60,10 @@ type PreparedQuery struct {
 	// the zero value is unlimited. See SetLimits.
 	limits hype.Limits
 
+	// compiledOff disarms the compiled evaluation layer on every borrowed
+	// clone; the default (false) evaluates compiled. See SetCompiled.
+	compiledOff bool
+
 	// opt maps a document's index to a pool of OptHyPE clones. All clones
 	// for one index share that single index (it is read-only after build);
 	// the map is tiny — one entry per distinct document the query has been
@@ -172,6 +176,16 @@ func (p *PreparedQuery) SetLimits(l EvalLimits) { p.limits = l }
 // Limits returns the armed resource budgets.
 func (p *PreparedQuery) Limits() EvalLimits { return p.limits }
 
+// SetCompiled enables (the default) or disables compiled evaluation — the
+// lazy subset-automaton + bitset-AFA layer — on every subsequent evaluation
+// of this plan. Answers and statistics are identical either way; the knob
+// exists for A/B measurement and as an escape hatch. Must not be called
+// concurrently with evaluations.
+func (p *PreparedQuery) SetCompiled(on bool) { p.compiledOff = !on }
+
+// Compiled reports whether compiled evaluation is enabled for this plan.
+func (p *PreparedQuery) Compiled() bool { return !p.compiledOff }
+
 // withEngine runs fn with an engine clone borrowed from ep — the single
 // chokepoint of every evaluation path. It arms the plan's resource budgets
 // on the clone and isolates panics: a panic inside fn (a poisoned
@@ -189,6 +203,7 @@ func (p *PreparedQuery) withEngine(ep *enginePool, fn func(e *Engine) error) (er
 		ep.pool.Put(e)
 	}()
 	e.SetLimits(p.limits)
+	e.SetCompiled(!p.compiledOff)
 	err = fn(e)
 	return err
 }

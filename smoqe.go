@@ -121,6 +121,13 @@ type Trace = hype.Trace
 // TraceEvent is one recorded decision of a traced run.
 type TraceEvent = hype.TraceEvent
 
+// CompiledStats reports what the compiled evaluation layer (lazy subset
+// automaton + bitset AFAs) did during a run: cache sizing, subset states
+// built, hit/miss/eviction counters and whether the run fell back to NFA
+// simulation. Attached to traced runs (Trace.Compiled) and available from
+// Engine.CompiledStats().
+type CompiledStats = hype.CompiledStats
+
 // EvalLimits bounds how much work one evaluation may do (visited elements,
 // accumulated candidate answers); arm them with PreparedQuery.SetLimits or
 // Engine.SetLimits. The zero value is unlimited.
