@@ -15,6 +15,7 @@
 //	smoqe materialize -view SPEC -docdtd FILE -viewdtd FILE -doc FILE [-o OUT]
 //	smoqe validate -dtd FILE -doc FILE
 //	smoqe trace [-server http://localhost:8640] [-id TRACEID]
+//	smoqe corpus ls|reindex|query [-server http://localhost:8640] [-name COLLECTION] ...
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		err = cmdSnapshot(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -81,7 +84,8 @@ commands:
   derive       derive a security view (view DTD + spec) from an access policy
   validate     validate a document against a DTD
   snapshot     save/load the columnar binary snapshot of a document
-  trace        list or render request traces from a running smoqed`)
+  trace        list or render request traces from a running smoqed
+  corpus       list, reindex or query document collections on a running smoqed`)
 }
 
 func loadDoc(path string) (*smoqe.Document, error) {

@@ -8,6 +8,9 @@
 //
 //	smoqed [-addr :8640] [-cache 256] [-timeout 30s]
 //	       [-doc name=file.xml ...] [-snapshot-dir DIR]
+//	       [-corpus-dir DIR] [-corpus-scan 2s] [-corpus-retry-base 100ms]
+//	       [-corpus-retry-max 5s] [-corpus-max-retries 3]
+//	       [-corpus-max-queries 4] [-corpus-workers GOMAXPROCS≤8]
 //	       [-view name=spec.view,source.dtd,target.dtd ...]
 //	       [-sample] [-pprof] [-slow-threshold 250ms] [-slowlog 128]
 //	       [-parallelism 0] [-max-concurrent 4×GOMAXPROCS] [-queue-wait 100ms]
@@ -25,6 +28,8 @@
 //
 //	POST /query  {"doc":"d","view":"v","query":"...","engine":"hype","explain":true}
 //	GET|POST /docs, /views
+//	GET  /collections, /collections/{name}
+//	POST /collections/{name}/query, /collections/{name}/reindex
 //	GET  /stats, /metrics, /slow, /traces, /traces/{id}, /healthz
 package main
 
@@ -75,6 +80,13 @@ func main() {
 	traceLatency := flag.Duration("trace-latency", 0, "retain every trace at least this slow (0 = slow-query threshold, negative disables)")
 
 	snapshotDir := flag.String("snapshot-dir", "", "load every *"+smoqe.SnapshotFileExt+" file in this directory as a document at startup")
+	corpusDir := flag.String("corpus-dir", "", "serve collections from this directory (one collection per subdirectory of XML/snapshot files)")
+	corpusScan := flag.Duration("corpus-scan", 0, "corpus background rescan interval (0 = default 2s)")
+	corpusRetryBase := flag.Duration("corpus-retry-base", 0, "first retry backoff for a transiently failing corpus document (0 = default 100ms)")
+	corpusRetryMax := flag.Duration("corpus-retry-max", 0, "retry backoff cap for corpus documents (0 = default 5s)")
+	corpusMaxRetries := flag.Int("corpus-max-retries", 0, "transient index failures per document before quarantine (0 = default 3)")
+	corpusMaxQueries := flag.Int("corpus-max-queries", 0, "concurrent fan-out queries per collection (0 = default 4, negative unbounded)")
+	corpusWorkers := flag.Int("corpus-workers", 0, "documents evaluated concurrently per fan-out query (0 = GOMAXPROCS capped at 8)")
 
 	var docFlags, viewFlags multiFlag
 	flag.Var(&docFlags, "doc", "register a document at startup: name=file.xml (repeatable)")
@@ -103,6 +115,14 @@ func main() {
 		TraceStoreSize:        *traceStore,
 		TraceSampleRate:       *traceSample,
 		TraceLatencyRetention: *traceLatency,
+
+		CorpusScanInterval:         *corpusScan,
+		CorpusRetryBase:            *corpusRetryBase,
+		CorpusRetryMax:             *corpusRetryMax,
+		CorpusMaxRetries:           *corpusMaxRetries,
+		CorpusMaxConcurrentQueries: *corpusMaxQueries,
+		CorpusWorkers:              *corpusWorkers,
+		CorpusLogf:                 log.Printf,
 	})
 
 	if sites, err := failpoint.ArmFromEnv(); err != nil {
@@ -136,11 +156,16 @@ func main() {
 		log.Printf("registered document %q (%d elements)", name, entry.Stats.Elements)
 	}
 	if *snapshotDir != "" {
-		n, err := srv.LoadSnapshotDir(*snapshotDir)
+		n, skipped, err := srv.LoadSnapshotDir(*snapshotDir)
 		if err != nil {
 			log.Fatalf("smoqed: -snapshot-dir %s: %v", *snapshotDir, err)
 		}
-		log.Printf("loaded %d snapshot(s) from %s", n, *snapshotDir)
+		// A corrupt snapshot is an operational event, not a startup failure:
+		// the healthy ones serve, the broken ones are named in the log.
+		for _, serr := range skipped {
+			log.Printf("WARNING: -snapshot-dir %s: skipped: %v", *snapshotDir, serr)
+		}
+		log.Printf("loaded %d snapshot(s) from %s (%d skipped)", n, *snapshotDir, len(skipped))
 	}
 	for _, spec := range viewFlags {
 		name, rest, ok := strings.Cut(spec, "=")
@@ -165,6 +190,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *corpusDir != "" {
+		if err := srv.OpenCorpus(ctx, *corpusDir); err != nil {
+			log.Fatalf("smoqed: -corpus-dir %s: %v", *corpusDir, err)
+		}
+		srv.StartCorpus(ctx)
+		defer srv.CloseCorpus()
+		for _, info := range srv.Corpus().Infos() {
+			log.Printf("corpus collection %q: generation %d, %d indexed, %d quarantined",
+				info.Name, info.Generation, info.Indexed, info.Quarantined)
+		}
+	}
 
 	log.Printf("smoqed listening on %s (cache %d plans, timeout %s)", *addr, *cacheSize, *timeout)
 	if err := srv.Serve(ctx, *addr, *grace); err != nil {

@@ -11,8 +11,8 @@
 //
 //   - anywhere: a ctx-taking callee must not be handed context.Background()
 //     / context.TODO() / nil as its context argument — forward ctx;
-//   - in the restricted packages (import path containing internal/server
-//     or internal/hype — the request paths), calling context.Background()
+//   - in the restricted packages (import path containing internal/server,
+//     internal/hype or internal/corpus — the request paths), calling context.Background()
 //     or context.TODO() at all is flagged, even when the fresh context is
 //     only stored. The rare legitimate case (detaching shutdown from an
 //     already-dead request ctx) carries a //lint:ignore with its reason.
@@ -35,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 
 // restricted marks the request-path packages where minting a root context
 // is never acceptable without an explicit ignore.
-var restricted = []string{"internal/server", "internal/hype"}
+var restricted = []string{"internal/server", "internal/hype", "internal/corpus"}
 
 func run(pass *analysis.Pass) error {
 	isRestricted := false

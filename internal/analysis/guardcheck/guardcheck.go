@@ -1,6 +1,6 @@
 // Package guardcheck enforces panic isolation on goroutines launched in
-// the serving packages (import paths containing internal/server or
-// internal/hype). A panic in an unguarded goroutine kills the whole
+// the serving packages (import paths containing internal/server,
+// internal/hype or internal/corpus). A panic in an unguarded goroutine kills the whole
 // daemon — and in the shard-parallel evaluator it also strands the
 // WaitGroup barrier, deadlocking the merge. Every `go` statement there
 // must recover, in one of the accepted shapes:
@@ -32,7 +32,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // restricted marks the packages whose goroutines must be panic-isolated.
-var restricted = []string{"internal/server", "internal/hype"}
+var restricted = []string{"internal/server", "internal/hype", "internal/corpus"}
 
 // guardPkgName is the package providing the recovery primitives.
 const guardPkgName = "guard"

@@ -1,5 +1,5 @@
 // Package spancheck enforces span hygiene in the serving packages (import
-// paths containing internal/server or internal/hype). A span started with
+// paths containing internal/server, internal/hype or internal/corpus). A span started with
 // trace.Start or Tracer.StartRoot and never ended is worse than no span:
 // its trace never finishes (root) or silently loses the subtree's timing
 // (child), and nothing at runtime notices. Every started span must be
@@ -32,7 +32,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // restricted marks the packages whose spans are checked.
-var restricted = []string{"internal/server", "internal/hype"}
+var restricted = []string{"internal/server", "internal/hype", "internal/corpus"}
 
 // tracePkgName is the package providing the tracing primitives.
 const tracePkgName = "trace"

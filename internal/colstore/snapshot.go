@@ -48,6 +48,21 @@ const (
 // daemon's -snapshot-dir scan loads every file carrying it.
 const FileExt = ".smoqe-snapshot"
 
+// FormatError reports a structurally invalid or corrupt snapshot: bad
+// magic, truncation, forged counts, checksum mismatch, or an invariant
+// violation in the decoded columns. Every ReadSnapshot failure other than
+// an injected failpoint unwraps to one, so callers can tell corrupt input
+// apart from environmental trouble with errors.As and quarantine the file
+// rather than retry it.
+type FormatError struct {
+	Offset int64  // byte offset at which the problem was detected
+	Reason string // human-readable description of the corruption
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("corrupt snapshot at byte %d: %s", e.Offset, e.Reason)
+}
+
 // WriteSnapshot serializes the document. The encoding is deterministic:
 // the same document always produces the same bytes.
 func (cd *Document) WriteSnapshot(w io.Writer) error {
@@ -102,16 +117,19 @@ func ReadSnapshot(r io.Reader) (*Document, error) {
 	crc := crc32.NewIEEE()
 	dec := &decoder{r: bufio.NewReader(r), crc: crc}
 	if magic := dec.bytes(len(snapshotMagic)); dec.err == nil && string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("colstore: snapshot read: bad magic %q", magic)
+		dec.corrupt("bad magic %q", magic)
 	}
 	if v := dec.u32(); dec.err == nil && v != snapshotVersion {
-		return nil, fmt.Errorf("colstore: snapshot read: unsupported version %d (have %d)", v, snapshotVersion)
+		dec.corrupt("unsupported version %d (have %d)", v, snapshotVersion)
 	}
 	numNodes := dec.count()
 	numLabels := dec.count()
 	arenaLen := dec.count()
 	labelsLen := dec.count()
-	cd := &Document{labelIDs: make(map[string]int32, numLabels)}
+	// numLabels is untrusted header data: size the map by a bounded hint so
+	// a forged count cannot pre-allocate gigabytes of buckets; the decode
+	// loop below grows it label by label as real input arrives.
+	cd := &Document{labelIDs: make(map[string]int32, min(numLabels, decodeChunk/16))}
 	before := dec.n
 	for i := 0; i < numLabels && dec.err == nil; i++ {
 		l := dec.string()
@@ -119,18 +137,18 @@ func ReadSnapshot(r io.Reader) (*Document, error) {
 			break
 		}
 		if l == "" {
-			dec.fail(fmt.Errorf("empty label %d", i))
+			dec.corrupt("empty label %d", i)
 			break
 		}
 		if _, dup := cd.labelIDs[l]; dup {
-			dec.fail(fmt.Errorf("duplicate label %q", l))
+			dec.corrupt("duplicate label %q", l)
 			break
 		}
 		cd.labelIDs[l] = int32(len(cd.labels))
 		cd.labels = append(cd.labels, l)
 	}
 	if dec.err == nil && dec.n-before != labelsLen {
-		dec.fail(fmt.Errorf("label section is %d bytes, header says %d", dec.n-before, labelsLen))
+		dec.corrupt("label section is %d bytes, header says %d", dec.n-before, labelsLen)
 	}
 	cd.label = dec.col(numNodes)
 	cd.end = dec.col(numNodes)
@@ -140,17 +158,20 @@ func ReadSnapshot(r io.Reader) (*Document, error) {
 	want := crc.Sum32() // trailer is outside the hashed region
 	var sum [4]byte
 	if dec.err == nil {
-		_, err := io.ReadFull(dec.r, sum[:])
-		dec.fail(err)
+		if _, err := io.ReadFull(dec.r, sum[:]); err != nil {
+			dec.corrupt("truncated checksum trailer (%v)", err)
+		}
 	}
 	if dec.err != nil {
 		return nil, fmt.Errorf("colstore: snapshot read: %w", dec.err)
 	}
 	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("colstore: snapshot read: checksum mismatch (stored %08x, computed %08x)", got, want)
+		dec.corrupt("checksum mismatch (stored %08x, computed %08x)", got, want)
+		return nil, fmt.Errorf("colstore: snapshot read: %w", dec.err)
 	}
 	if err := cd.validate(); err != nil {
-		return nil, fmt.Errorf("colstore: snapshot read: %w", err)
+		dec.corrupt("%v", err)
+		return nil, fmt.Errorf("colstore: snapshot read: %w", dec.err)
 	}
 	return cd, nil
 }
@@ -233,17 +254,31 @@ func (d *decoder) fail(err error) {
 	}
 }
 
+// corrupt records a FormatError at the current read offset.
+func (d *decoder) corrupt(format string, args ...any) {
+	d.fail(&FormatError{Offset: int64(d.n), Reason: fmt.Sprintf(format, args...)})
+}
+
+// decodeChunk bounds how much bytes allocates ahead of data actually read,
+// so a forged header cannot demand gigabytes before truncation surfaces.
+const decodeChunk = 1 << 16
+
 func (d *decoder) bytes(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil {
-		d.err = err
-		return nil
+	b := make([]byte, 0, min(n, decodeChunk))
+	for len(b) < n {
+		c := min(n-len(b), decodeChunk)
+		start := len(b)
+		b = append(b, make([]byte, c)...)
+		if _, err := io.ReadFull(d.r, b[start:]); err != nil {
+			d.corrupt("truncated input: want %d bytes, have %d (%v)", n, start, err)
+			return nil
+		}
+		d.crc.Write(b[start:])
+		d.n += c
 	}
-	d.crc.Write(b)
-	d.n += n
 	return b
 }
 
@@ -259,7 +294,7 @@ func (d *decoder) u32() uint32 {
 func (d *decoder) count() int {
 	v := d.u32()
 	if d.err == nil && v > maxSnapshotCount {
-		d.fail(fmt.Errorf("implausible count %d", v))
+		d.corrupt("implausible count %d", v)
 		return 0
 	}
 	return int(v)
@@ -272,7 +307,7 @@ func (d *decoder) uvarint() uint64 {
 	v := uint64(0)
 	for shift := 0; ; shift += 7 {
 		if shift >= 64 {
-			d.fail(fmt.Errorf("uvarint overflow"))
+			d.corrupt("uvarint overflow")
 			return 0
 		}
 		b := d.bytes(1)
@@ -292,7 +327,7 @@ func (d *decoder) string() string {
 		return ""
 	}
 	if n > maxSnapshotCount {
-		d.fail(fmt.Errorf("implausible string length %d", n))
+		d.corrupt("implausible string length %d", n)
 		return ""
 	}
 	return string(d.bytes(int(n)))

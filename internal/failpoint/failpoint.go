@@ -58,6 +58,15 @@ const (
 	// SiteSnapshotRead fires at the start of every columnar snapshot
 	// deserialization (colstore.ReadSnapshot).
 	SiteSnapshotRead = "colstore.snapshot.read"
+	// SiteCorpusManifestWrite fires inside the corpus manifest writer,
+	// between the temp-file write and the atomic rename (so an injected
+	// crash leaves a torn temp file, never a torn manifest).
+	SiteCorpusManifestWrite = "corpus.manifest.write"
+	// SiteCorpusIndexDoc fires before each per-document index (parse +
+	// fingerprint) attempt in the corpus indexer.
+	SiteCorpusIndexDoc = "corpus.index.doc"
+	// SiteCorpusScan fires at the start of every corpus directory scan.
+	SiteCorpusScan = "corpus.scan"
 )
 
 // Mode is what an armed failpoint does when it fires.

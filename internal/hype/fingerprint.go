@@ -1,0 +1,229 @@
+package hype
+
+// Corpus-level prefiltering: a per-document fingerprint (subtree alphabet +
+// text Bloom) cheap enough to keep for millions of documents, and a
+// per-query Prefilter that refutes whole documents from the fingerprint
+// alone — the corpus generalization of OptHyPE's per-subtree pruning. A
+// document that fails the prefilter provably contains no answer, so the
+// collection layer (internal/corpus) skips it without touching its tree;
+// a document that passes is evaluated normally. The test is sound, never
+// complete: prefilter-on and prefilter-off evaluations return identical
+// answers by construction (and the corpus chaos harness crosschecks it).
+
+import (
+	"sort"
+
+	"smoqe/internal/mfa"
+	"smoqe/internal/xmltree"
+)
+
+// Fingerprint summarizes one document for corpus-level prefiltering: the
+// set of element labels occurring anywhere in the document, the union of
+// the text Blooms of every element's direct text content (the value
+// text()='c' predicates test, see TextMask), and the element count.
+type Fingerprint struct {
+	// Labels is the sorted set of element labels in the document.
+	Labels []string
+	// TextBloom ORs TextMask(text content) over every element node: a
+	// query constant whose bits are not all set provably occurs nowhere.
+	TextBloom uint64
+	// Elements is the number of element nodes (the root included).
+	Elements int
+}
+
+// HasLabel reports whether the fingerprinted document contains an element
+// labeled l.
+func (f Fingerprint) HasLabel(l string) bool {
+	i := sort.SearchStrings(f.Labels, l)
+	return i < len(f.Labels) && f.Labels[i] == l
+}
+
+// FingerprintDoc computes the document's fingerprint in one walk. The
+// Bloom construction mirrors BuildIndex's per-node text Blooms, so the
+// prefilter refutes exactly the constants OptHyPE's index would refute at
+// the root.
+func FingerprintDoc(doc *xmltree.Document) Fingerprint {
+	var f Fingerprint
+	seen := make(map[string]bool)
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind != xmltree.Element {
+			return true
+		}
+		f.Elements++
+		if !seen[n.Label] {
+			seen[n.Label] = true
+			f.Labels = append(f.Labels, n.Label)
+		}
+		if txt := n.TextContent(); txt != "" {
+			f.TextBloom |= TextMask(txt)
+		}
+		return true
+	})
+	sort.Strings(f.Labels)
+	return f
+}
+
+// Prefilter is the document-level admission test of one MFA: CanMatch
+// reports whether a document with a given fingerprint can possibly contain
+// an answer. The test is sound (a false return proves the answer set is
+// empty) and cheap — O(|MFA|) per document, no tree access. Build one per
+// prepared plan and share it: a Prefilter is immutable and safe for
+// concurrent use.
+type Prefilter struct {
+	m *mfa.MFA
+	// Per-AFA text analysis (shared with OptHyPE, see textAnalysis):
+	// always[g][t] marks guard states whose truth does not hinge on a
+	// specific text constant; masks[g][t] lists the Bloom masks of the
+	// constants whose finals the state can reach.
+	always [][]bool
+	masks  [][][]uint64
+}
+
+// NewPrefilter analyzes m once; the result is reused for every document.
+func NewPrefilter(m *mfa.MFA) *Prefilter {
+	p := &Prefilter{
+		m:      m,
+		always: make([][]bool, len(m.AFAs)),
+		masks:  make([][][]uint64, len(m.AFAs)),
+	}
+	for g, a := range m.AFAs {
+		p.always[g], p.masks[g] = textAnalysis(a)
+	}
+	return p
+}
+
+// guardPossible reports whether NFA state s's guard can hold anywhere in a
+// document with fingerprint f. Unguarded states qualify trivially; guarded
+// states qualify unless every way their AFA can become true runs through a
+// text constant the document provably lacks.
+func (p *Prefilter) guardPossible(s int, f Fingerprint) bool {
+	entry := p.m.GuardEntry(s)
+	if entry < 0 {
+		return true
+	}
+	g := p.m.States[s].Guard
+	if p.always[g][entry] {
+		return true
+	}
+	for _, mk := range p.masks[g][entry] {
+		if f.TextBloom&mk == mk {
+			return true
+		}
+	}
+	return false
+}
+
+// textAnalysis computes, for one guard AFA, which states can only become
+// true through specific text constants: always[t] marks states whose truth
+// never hinges on one (a NOT or a non-text final is reachable), masks[t]
+// lists the Bloom masks of the constants whose finals state t can reach
+// through the full Kids graph. If none of masks[t] occurs in a subtree and
+// always[t] is false, the state is provably false there. OptHyPE uses this
+// per subtree (prepareIndexMeta); the corpus Prefilter applies it to the
+// whole-document Bloom.
+func textAnalysis(a *mfa.AFA) (always []bool, masks [][]uint64) {
+	n := a.NumStates()
+	always = make([]bool, n)
+	masks = make([][]uint64, n)
+	for t := 0; t < n; t++ {
+		st := &a.States[t]
+		switch st.Kind {
+		case mfa.AFANot:
+			always[t] = true
+		case mfa.AFAFinal:
+			// text()='' holds at any node without text children, so
+			// only nonempty constants can be refuted by the bloom.
+			if st.Pred.Kind == mfa.PredText && st.Pred.Text != "" {
+				masks[t] = []uint64{TextMask(st.Pred.Text)}
+			} else {
+				always[t] = true
+			}
+		}
+	}
+	const maskCap = 8
+	for changed := true; changed; {
+		changed = false
+		for t := 0; t < n; t++ {
+			if always[t] {
+				continue
+			}
+			for _, k := range a.States[t].Kids {
+				if always[k] {
+					always[t] = true
+					changed = true
+					break
+				}
+				for _, mk := range masks[k] {
+					found := false
+					for _, have := range masks[t] {
+						if have == mk {
+							found = true
+							break
+						}
+					}
+					if !found {
+						masks[t] = append(masks[t], mk)
+						changed = true
+					}
+				}
+			}
+			if len(masks[t]) > maskCap {
+				// Too many alternatives to track; give up on text
+				// pruning for this state (conservative).
+				always[t] = true
+				masks[t] = nil
+				changed = true
+			}
+		}
+	}
+	return always, masks
+}
+
+// CanMatch reports whether a document with fingerprint f can contain an
+// answer: some final NFA state must be reachable from the start state
+// consuming only labels the document has (a wildcard step needs some
+// non-root element to consume), through states whose guards are not
+// refuted by the text Bloom. Everything else over-approximates — guard
+// AFAs' own label consumption is ignored — so a true return means
+// "evaluate", never "match".
+func (p *Prefilter) CanMatch(f Fingerprint) bool {
+	if f.Elements == 0 {
+		return false
+	}
+	// Any consumed label is the label of a non-root element, so wildcard
+	// steps are only satisfiable when one exists.
+	wildOK := f.Elements >= 2
+	n := len(p.m.States)
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	push := func(s int) {
+		if !seen[s] && p.guardPossible(s, f) {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	push(p.m.Start)
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		st := &p.m.States[s]
+		if st.Final {
+			return true
+		}
+		for _, t := range st.Eps {
+			push(t)
+		}
+		for _, tr := range st.Trans {
+			if tr.Wild {
+				if wildOK {
+					push(tr.To)
+				}
+				continue
+			}
+			if f.HasLabel(tr.Label) {
+				push(tr.To)
+			}
+		}
+	}
+	return false
+}

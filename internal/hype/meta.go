@@ -58,66 +58,12 @@ func (e *Engine) prepareIndexMeta() {
 	}
 
 	// Text analysis: which states can only become true through specific
-	// text constants (full-graph reachability to FINAL/NOT states).
+	// text constants (full-graph reachability to FINAL/NOT states). Shared
+	// with the corpus prefilter, see textAnalysis in fingerprint.go.
 	e.afaAlways = make([][]bool, len(e.m.AFAs))
 	e.afaTextMasks = make([][][]uint64, len(e.m.AFAs))
 	for g, a := range e.m.AFAs {
-		n := a.NumStates()
-		always := make([]bool, n)
-		masks := make([][]uint64, n)
-		for t := 0; t < n; t++ {
-			st := &a.States[t]
-			switch st.Kind {
-			case mfa.AFANot:
-				always[t] = true
-			case mfa.AFAFinal:
-				// text()='' holds at any node without text children, so
-				// only nonempty constants can be refuted by the bloom.
-				if st.Pred.Kind == mfa.PredText && st.Pred.Text != "" {
-					masks[t] = []uint64{TextMask(st.Pred.Text)}
-				} else {
-					always[t] = true
-				}
-			}
-		}
-		const maskCap = 8
-		for changed := true; changed; {
-			changed = false
-			for t := 0; t < n; t++ {
-				if always[t] {
-					continue
-				}
-				for _, k := range a.States[t].Kids {
-					if always[k] {
-						always[t] = true
-						changed = true
-						break
-					}
-					for _, mk := range masks[k] {
-						found := false
-						for _, have := range masks[t] {
-							if have == mk {
-								found = true
-								break
-							}
-						}
-						if !found {
-							masks[t] = append(masks[t], mk)
-							changed = true
-						}
-					}
-				}
-				if len(masks[t]) > maskCap {
-					// Too many alternatives to track; give up on text
-					// pruning for this state (conservative).
-					always[t] = true
-					masks[t] = nil
-					changed = true
-				}
-			}
-		}
-		e.afaAlways[g] = always
-		e.afaTextMasks[g] = masks
+		e.afaAlways[g], e.afaTextMasks[g] = textAnalysis(a)
 	}
 
 	// Union of all consumable labels, for the useful() fast path.

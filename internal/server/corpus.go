@@ -1,0 +1,535 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"smoqe"
+	"smoqe/internal/corpus"
+	"smoqe/internal/guard"
+	"smoqe/internal/trace"
+)
+
+// OpenCorpus attaches a corpus of collections (one subdirectory of dir
+// each) to the server: durable state is recovered, every document is
+// validated (quarantined when corrupt) and indexed synchronously, and the
+// collection endpoints start answering. Call StartCorpus afterwards for
+// background re-indexing.
+func (s *Server) OpenCorpus(ctx context.Context, dir string) error {
+	mgr, err := corpus.Open(ctx, dir, corpus.Options{
+		ScanInterval: s.cfg.CorpusScanInterval,
+		RetryBase:    s.cfg.CorpusRetryBase,
+		RetryMax:     s.cfg.CorpusRetryMax,
+		MaxRetries:   s.cfg.CorpusMaxRetries,
+		ParseLimits:  s.cfg.ParseLimits,
+		Logf:         s.cfg.CorpusLogf,
+		OnScan:       s.met.corpusScanned,
+	})
+	if err != nil {
+		return err
+	}
+	s.corpus = mgr
+	return nil
+}
+
+// StartCorpus launches the corpus's background incremental indexer; it
+// stops when ctx is cancelled (CloseCorpus drains it).
+func (s *Server) StartCorpus(ctx context.Context) {
+	if s.corpus != nil {
+		s.corpus.Start(ctx)
+	}
+}
+
+// CloseCorpus stops the background indexer and waits for it to drain.
+func (s *Server) CloseCorpus() {
+	if s.corpus != nil {
+		s.corpus.Close()
+	}
+}
+
+// Corpus exposes the attached corpus manager (nil when no corpus is open).
+func (s *Server) Corpus() *corpus.Manager { return s.corpus }
+
+var errCorpusDisabled = errors.New("server: no corpus configured (start with -corpus-dir)")
+
+// CollectionQueryRequest asks for one evaluation fanned over a collection.
+type CollectionQueryRequest struct {
+	// Query is the regular XPath query text.
+	Query string `json:"query"`
+	// View optionally names a registered view to rewrite through.
+	View string `json:"view,omitempty"`
+	// Prefilter controls the fingerprint prefilter (default on). Off is a
+	// crosscheck/debug mode: every indexed document is evaluated. The
+	// "results" array is byte-identical either way — the prefilter only
+	// skips documents that provably contain no answer.
+	Prefilter *bool `json:"prefilter,omitempty"`
+}
+
+// collectionDocResult is one document's streamed result entry. Documents
+// with no answers are omitted, so the results array does not depend on
+// which documents the prefilter managed to skip.
+type collectionDocResult struct {
+	Doc   string `json:"doc"`
+	Count int    `json:"count"`
+	IDs   []int  `json:"ids"`
+}
+
+// handleCollections lists the corpus's collections.
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	if s.corpus == nil {
+		writeError(w, http.StatusNotFound, errCorpusDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.corpus.Infos())
+}
+
+// collectionDetail is the GET /collections/{name} payload: the summary
+// plus every document's status (quarantine reasons included).
+type collectionDetail struct {
+	corpus.CollectionInfo
+	Docs []collectionDocInfo `json:"docs"`
+}
+
+type collectionDocInfo struct {
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	Reason   string `json:"reason,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
+	Elements int    `json:"elements,omitempty"`
+}
+
+func (s *Server) handleCollectionGet(w http.ResponseWriter, r *http.Request) {
+	if s.corpus == nil {
+		writeError(w, http.StatusNotFound, errCorpusDisabled)
+		return
+	}
+	name := r.PathValue("name")
+	c, ok := s.corpus.Collection(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: collection %q not registered", name))
+		return
+	}
+	detail := collectionDetail{CollectionInfo: s.corpus.Info(c)}
+	for _, d := range c.Docs() {
+		detail.Docs = append(detail.Docs, collectionDocInfo{
+			Name:     d.Name,
+			Status:   string(d.Status),
+			Reason:   d.Reason,
+			Retries:  d.Retries,
+			Elements: d.Fingerprint.Elements,
+		})
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleCollectionReindex runs a synchronous forced reindex. A scan
+// already in flight answers 503 with a Retry-After hint (one scan
+// interval), through the same helper every other Retry-After goes
+// through.
+func (s *Server) handleCollectionReindex(w http.ResponseWriter, r *http.Request) {
+	if s.corpus == nil {
+		writeError(w, http.StatusNotFound, errCorpusDisabled)
+		return
+	}
+	name := r.PathValue("name")
+	info, err := s.corpus.Reindex(r.Context(), name)
+	if err != nil {
+		if errors.Is(err, corpus.ErrReindexInProgress) {
+			w.Header().Set("Retry-After", retryAfterSecs(s.corpusScanInterval()))
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// corpusScanInterval is the configured scan cadence (the Retry-After hint
+// for reindex races), with the corpus package's default applied.
+func (s *Server) corpusScanInterval() time.Duration {
+	if s.cfg.CorpusScanInterval > 0 {
+		return s.cfg.CorpusScanInterval
+	}
+	return 2 * time.Second
+}
+
+// handleCollectionQuery fans one query over a collection's indexed
+// documents and streams per-document results in name order. The response
+// head (generation, staleness, quarantine counts) is written before the
+// first evaluation finishes; a fan-out failure after that terminates the
+// "results" array and reports the failure in a trailing "error" member —
+// the status line is long gone, but the JSON stays well formed and the
+// partial results stay usable.
+func (s *Server) handleCollectionQuery(w http.ResponseWriter, r *http.Request) {
+	if s.corpus == nil {
+		writeError(w, http.StatusNotFound, errCorpusDisabled)
+		return
+	}
+	name := r.PathValue("name")
+	var req CollectionQueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	s.met.requests.Inc()
+	err := s.collectionQuery(r.Context(), w, name, req)
+	if err != nil {
+		s.recordError(err)
+		s.traceError(r.Context(), err)
+		status := statusFor(err)
+		switch status {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", retryAfterSecs(s.cfg.QueueWait))
+		case http.StatusServiceUnavailable:
+			var boe *BreakerOpenError
+			if errors.As(err, &boe) {
+				w.Header().Set("Retry-After", retryAfterSecs(boe.RetryAfter))
+			}
+		}
+		writeError(w, status, err)
+	}
+}
+
+// corpusBreakerKey namespaces collection breakers away from view breakers
+// in health and metric labels.
+func corpusBreakerKey(collection string) string { return "collection/" + collection }
+
+// collectionQuery is the fan-out path. Errors before the first body byte
+// return to the handler for a proper status; once streaming has started
+// they are folded into the body instead.
+func (s *Server) collectionQuery(ctx context.Context, w http.ResponseWriter, name string, req CollectionQueryRequest) (err error) {
+	ctx, sp := trace.Start(ctx, "corpus.query")
+	defer sp.End()
+	sp.Attr("collection", name)
+	if req.Query == "" {
+		return fmt.Errorf("server: empty query")
+	}
+	c, ok := s.corpus.Collection(name)
+	if !ok {
+		return fmt.Errorf("server: collection %q not registered", name)
+	}
+	var view *ViewEntry
+	if req.View != "" {
+		if view, ok = s.reg.View(req.View); !ok {
+			return fmt.Errorf("server: view %q not registered", req.View)
+		}
+	}
+
+	// Per-collection circuit breaker: a collection whose fan-outs keep
+	// failing with server faults is short-circuited before any plan or
+	// admission slot is spent on it.
+	bkey := corpusBreakerKey(name)
+	if ok, retry := s.corpusBrk.allow(bkey); !ok {
+		s.met.breakerRejected.Inc()
+		return &BreakerOpenError{View: bkey, RetryAfter: retry}
+	}
+	serverFault := false
+	defer func() {
+		s.corpusBrk.record(bkey, serverFault || (err != nil && isServerFault(err)))
+	}()
+
+	plan, hit, err := s.plan(ctx, QueryRequest{Query: req.Query, View: req.View}, view, EngineHyPE)
+	if err != nil {
+		return err
+	}
+	if hit {
+		s.met.cacheHits.Inc()
+	} else {
+		s.met.cacheMisses.Inc()
+	}
+
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Per-collection admission: a collection fan-out is one request but
+	// many evaluations, so each collection gets its own concurrency bound
+	// instead of competing slot-by-slot with single-document queries.
+	release, err := s.admitCollection(ctx, name)
+	if err != nil {
+		return fmt.Errorf("server: query on collection %q: %w", name, err)
+	}
+	defer release()
+
+	info := s.corpus.Info(c)
+	docs := c.Docs(corpus.StatusIndexed)
+
+	// Prefilter: refute whole documents from their fingerprints alone. A
+	// refuted document provably has no answers, so skipping it cannot
+	// change the results array.
+	usePrefilter := req.Prefilter == nil || *req.Prefilter
+	var evalDocs []*corpus.Doc
+	if usePrefilter {
+		pf := plan.Prefilter()
+		for _, d := range docs {
+			if d.Tree != nil && pf.CanMatch(d.Fingerprint) {
+				evalDocs = append(evalDocs, d)
+			}
+		}
+	} else {
+		for _, d := range docs {
+			if d.Tree != nil {
+				evalDocs = append(evalDocs, d)
+			}
+		}
+	}
+	s.met.corpusPrefilterSkipped(name, len(docs)-len(evalDocs))
+	sp.AttrInt("docs_indexed", int64(len(docs)))
+	sp.AttrInt("docs_evaluated", int64(len(evalDocs)))
+
+	// Everything that can fail with a status code has; start the body.
+	out := newCollectionStream(w, name, info, len(docs)-len(evalDocs))
+	defer func() {
+		// A failure after this point surfaces inside the stream; the
+		// handler must not also write a JSON error response.
+		if err != nil {
+			serverFault = isServerFault(err)
+			out.finishError(err)
+			s.recordError(err)
+			s.traceError(ctx, err)
+			err = nil
+		}
+	}()
+
+	start := time.Now()
+	total := 0
+	results := s.fanOut(ctx, plan, evalDocs)
+	for i := range evalDocs {
+		res := <-results[i]
+		if res.err != nil {
+			return fmt.Errorf("server: query on collection %q, doc %q: %w", name, evalDocs[i].Name, res.err)
+		}
+		if len(res.ids) == 0 {
+			continue
+		}
+		total += len(res.ids)
+		if werr := out.result(collectionDocResult{Doc: evalDocs[i].Name, Count: len(res.ids), IDs: res.ids}); werr != nil {
+			// The client is gone; there is nothing left to stream to.
+			return nil
+		}
+	}
+	out.finish(total)
+	s.met.observeQuery(req.View, EngineHyPE, time.Since(start))
+	return nil
+}
+
+// docEval is one document's fan-out outcome.
+type docEval struct {
+	ids []int
+	err error
+}
+
+// fanOut evaluates the documents on a bounded worker pool and returns one
+// single-use buffered channel per document, so the caller can stream
+// results in document-name order while later documents are still
+// evaluating. Every channel receives exactly one value.
+func (s *Server) fanOut(ctx context.Context, plan *smoqe.PreparedQuery, docs []*corpus.Doc) []chan docEval {
+	results := make([]chan docEval, len(docs))
+	for i := range results {
+		results[i] = make(chan docEval, 1)
+	}
+	workers := s.cfg.CorpusWorkers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				// Panic isolation per document: a poisoned evaluation
+				// surfaces as that document's error, not a killed daemon or
+				// a reader blocked on an unfilled channel.
+				perr := guard.Protect("corpus.eval", func() error {
+					_, dsp := trace.Start(ctx, "corpus.eval.doc")
+					defer dsp.End()
+					dsp.Attr("doc", docs[i].Name)
+					nodes, _, eerr := plan.EvalCtx(ctx, docs[i].Tree.Root)
+					if eerr != nil {
+						dsp.Error(eerr)
+						return eerr
+					}
+					results[i] <- docEval{ids: smoqe.IDsOf(nodes)}
+					return nil
+				})
+				if perr != nil {
+					results[i] <- docEval{err: perr}
+				}
+			}
+		}()
+	}
+	go func() {
+		var ferr error
+		defer guard.Recover("corpus.feed", &ferr)
+		defer close(idx)
+		for i := range docs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				// Fail the not-yet-dispatched documents so the in-order
+				// reader never blocks on them; already-dispatched ones are
+				// settled by their workers (EvalCtx honors ctx).
+				for j := i; j < len(docs); j++ {
+					results[j] <- docEval{err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}()
+	return results
+}
+
+// admitCollection acquires the collection's admission slot, queueing up to
+// QueueWait before shedding with ErrOverloaded — the same discipline as
+// the global evaluation semaphore, but per collection. The returned
+// release must be called exactly once.
+func (s *Server) admitCollection(ctx context.Context, name string) (release func(), err error) {
+	if s.cfg.CorpusMaxConcurrentQueries <= 0 {
+		return func() {}, nil
+	}
+	s.corpusSemMu.Lock()
+	sem, ok := s.corpusSems[name]
+	if !ok {
+		sem = make(chan struct{}, s.cfg.CorpusMaxConcurrentQueries)
+		s.corpusSems[name] = sem
+	}
+	s.corpusSemMu.Unlock()
+	_, sp := trace.Start(ctx, "corpus.admit")
+	defer sp.End()
+	release = func() { <-sem }
+	select {
+	case sem <- struct{}{}: // fast path: a slot is free
+		s.met.queueWait.Observe(0)
+		return release, nil
+	default:
+	}
+	start := time.Now()
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case sem <- struct{}{}:
+		s.met.queueWait.Observe(time.Since(start).Seconds())
+		return release, nil
+	case <-timer.C:
+		s.met.shed.Inc()
+		sp.Event("shed")
+		sp.Error(ErrOverloaded)
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		s.met.cancelled.Inc()
+		sp.Event("cancelled")
+		sp.Error(ctx.Err())
+		return nil, ctx.Err()
+	}
+}
+
+// collectionStream writes the response body incrementally: a head with
+// the collection's serving state, a streamed results array, then totals
+// (or a trailing error). Field order is fixed so responses are
+// byte-comparable across runs — the crash-recovery crosscheck depends on
+// that.
+type collectionStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	nres    int
+}
+
+func newCollectionStream(w http.ResponseWriter, name string, info corpus.CollectionInfo, skipped int) *collectionStream {
+	cs := &collectionStream{w: w}
+	cs.flusher, _ = w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/json")
+	degraded := info.Quarantined > 0 || info.Stale
+	fmt.Fprintf(w, "{\"collection\":%s,\"generation\":%d,\"stale\":%t,\"degraded\":%t,"+
+		"\"docs_indexed\":%d,\"docs_pending\":%d,\"docs_quarantined\":%d,\"docs_skipped_prefilter\":%d,\"results\":[",
+		jsonString(name), info.Generation, info.Stale, degraded,
+		info.Indexed, info.Pending, info.Quarantined, skipped)
+	return cs
+}
+
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(b)
+}
+
+// result appends one document's entry and flushes, so clients see
+// per-document progress on long fan-outs.
+func (cs *collectionStream) result(r collectionDocResult) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if cs.nres > 0 {
+		if _, err := cs.w.Write([]byte(",")); err != nil {
+			return err
+		}
+	}
+	cs.nres++
+	if _, err := cs.w.Write(b); err != nil {
+		return err
+	}
+	if cs.flusher != nil {
+		cs.flusher.Flush()
+	}
+	return nil
+}
+
+// finish closes the results array and writes the totals.
+func (cs *collectionStream) finish(total int) {
+	fmt.Fprintf(cs.w, "],\"count\":%d}\n", total)
+	if cs.flusher != nil {
+		cs.flusher.Flush()
+	}
+}
+
+// finishError closes the results array and reports the fan-out failure in
+// the body (the 200 status line was already committed).
+func (cs *collectionStream) finishError(err error) {
+	fmt.Fprintf(cs.w, "],\"error\":%s}\n", jsonString(err.Error()))
+	if cs.flusher != nil {
+		cs.flusher.Flush()
+	}
+}
+
+// CorpusHealth is one collection's health summary inside /healthz.
+type CorpusHealth struct {
+	Generation  uint64 `json:"generation"`
+	Indexed     int    `json:"indexed"`
+	Pending     int    `json:"pending,omitempty"`
+	Quarantined int    `json:"quarantined"`
+	Stale       bool   `json:"stale"`
+}
+
+// corpusHealth assembles the per-collection health map and reports whether
+// any collection degrades the server (quarantined documents or a stale
+// index keep serving their last good generation, but visibly so).
+func (s *Server) corpusHealth() (map[string]CorpusHealth, bool) {
+	if s.corpus == nil {
+		return nil, false
+	}
+	degraded := false
+	out := make(map[string]CorpusHealth)
+	for _, info := range s.corpus.Infos() {
+		out[info.Name] = CorpusHealth{
+			Generation:  info.Generation,
+			Indexed:     info.Indexed,
+			Pending:     info.Pending,
+			Quarantined: info.Quarantined,
+			Stale:       info.Stale,
+		}
+		if info.Quarantined > 0 || info.Stale {
+			degraded = true
+		}
+	}
+	return out, degraded
+}

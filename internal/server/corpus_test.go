@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"smoqe/internal/failpoint"
+)
+
+// newCorpusServer builds a corpus directory with one collection ("ward":
+// three good documents, one unparsable one) and a server with it open.
+func newCorpusServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	col := filepath.Join(dir, "ward")
+	if err := os.Mkdir(col, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, xml := range map[string]string{
+		"a.xml":   `<a><b>one</b></a>`,
+		"b.xml":   `<a><b>two</b><b>three</b></a>`,
+		"c.xml":   `<a><c>other</c></a>`,
+		"bad.xml": `<a><unclosed`,
+	} {
+		if err := os.WriteFile(filepath.Join(col, name), []byte(xml), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(cfg)
+	if err := s.OpenCorpus(context.Background(), dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.CloseCorpus)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// resultsSuffix returns the body from `"results":` on — the part of a
+// collection query response that must not depend on the prefilter (or, in
+// the chaos crosscheck, on crash history).
+func resultsSuffix(t *testing.T, body []byte) string {
+	t.Helper()
+	i := bytes.Index(body, []byte(`"results":`))
+	if i < 0 {
+		t.Fatalf("response has no results array: %s", body)
+	}
+	return string(body[i:])
+}
+
+func TestCollectionEndpoints(t *testing.T) {
+	_, ts := newCorpusServer(t, Config{})
+
+	var infos []struct {
+		Name        string `json:"name"`
+		Generation  uint64 `json:"generation"`
+		Indexed     int    `json:"indexed"`
+		Quarantined int    `json:"quarantined"`
+	}
+	getJSON(t, ts, "/collections", &infos)
+	if len(infos) != 1 || infos[0].Name != "ward" || infos[0].Indexed != 3 || infos[0].Quarantined != 1 {
+		t.Fatalf("GET /collections = %+v", infos)
+	}
+
+	var detail struct {
+		Docs []collectionDocInfo `json:"docs"`
+	}
+	getJSON(t, ts, "/collections/ward", &detail)
+	if len(detail.Docs) != 4 {
+		t.Fatalf("GET /collections/ward docs = %+v", detail.Docs)
+	}
+	byName := map[string]collectionDocInfo{}
+	for _, d := range detail.Docs {
+		byName[d.Name] = d
+	}
+	if byName["a.xml"].Status != "indexed" || byName["a.xml"].Elements != 2 {
+		t.Errorf("a.xml = %+v", byName["a.xml"])
+	}
+	if byName["bad.xml"].Status != "quarantined" || byName["bad.xml"].Reason == "" {
+		t.Errorf("bad.xml = %+v", byName["bad.xml"])
+	}
+
+	// The fan-out finds b elements in a.xml and b.xml; c.xml has no b label
+	// at all, so the prefilter refutes it from its fingerprint.
+	resp, body := postJSON(t, ts, "/collections/ward/query", map[string]any{"query": "b"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST query: %d %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Degraded bool `json:"degraded"`
+		Skipped  int  `json:"docs_skipped_prefilter"`
+		Results  []struct {
+			Doc   string `json:"doc"`
+			Count int    `json:"count"`
+		} `json:"results"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if qr.Count != 3 || len(qr.Results) != 2 || qr.Skipped != 1 || !qr.Degraded {
+		t.Fatalf("query response = %+v (%s)", qr, body)
+	}
+	if qr.Results[0].Doc != "a.xml" || qr.Results[0].Count != 1 ||
+		qr.Results[1].Doc != "b.xml" || qr.Results[1].Count != 2 {
+		t.Fatalf("results out of document order: %+v", qr.Results)
+	}
+
+	// Prefilter off is the crosscheck mode: every indexed document is
+	// evaluated, and from "results" on the body is byte-identical.
+	resp, crosscheck := postJSON(t, ts, "/collections/ward/query",
+		map[string]any{"query": "b", "prefilter": false})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST query (no prefilter): %d %s", resp.StatusCode, crosscheck)
+	}
+	if got, want := resultsSuffix(t, crosscheck), resultsSuffix(t, body); got != want {
+		t.Fatalf("prefilter changed the answers:\n  on:  %s\n  off: %s", want, got)
+	}
+
+	// Error taxonomy before the stream starts.
+	if resp, _ := postJSON(t, ts, "/collections/nowhere/query", map[string]any{"query": "b"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("query on unknown collection: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts, "/collections/ward/query", map[string]any{"query": ""}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query: %d, want 400", resp.StatusCode)
+	}
+
+	// The quarantined document degrades health, with corpus counts visible.
+	var h HealthInfo
+	getJSON(t, ts, "/healthz", &h)
+	if h.Status != "degraded" || h.Corpus["ward"].Quarantined != 1 || h.Corpus["ward"].Indexed != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestCollectionReindexRetryAfter drives the reindex-in-progress 503,
+// table-driven over scan intervals: the Retry-After hint must come from the
+// shared retryAfterSecs helper applied to the configured interval.
+func TestCollectionReindexRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		interval time.Duration
+		want     string // retryAfterSecs(interval or the 2s default)
+	}{
+		{"default-interval", 0, "2"},
+		{"sub-second-rounds-up", 1500 * time.Millisecond, "2"},
+		{"five-seconds", 5 * time.Second, "5"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newCorpusServer(t, Config{CorpusScanInterval: tc.interval})
+			// Slow down per-document indexing so the first reindex is still
+			// running when the second request lands.
+			if err := failpoint.Enable(failpoint.SiteCorpusIndexDoc, "sleep:500ms"); err != nil {
+				t.Fatal(err)
+			}
+			defer failpoint.DisableAll()
+			first := make(chan int, 1)
+			go func() {
+				resp, err := http.Post(ts.URL+"/collections/ward/reindex", "application/json", nil)
+				if err != nil {
+					first <- 0
+					return
+				}
+				resp.Body.Close()
+				first <- resp.StatusCode
+			}()
+			// The slowed scan holds the collection for ~2s (4 documents ×
+			// 500ms); by 300ms in, the first reindex is guaranteed mid-scan.
+			time.Sleep(300 * time.Millisecond)
+			resp, err := http.Post(ts.URL+"/collections/ward/reindex", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("concurrent reindex: %d, want 503", resp.StatusCode)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.want {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.want)
+			}
+			if code := <-first; code != http.StatusOK {
+				t.Fatalf("first reindex finished with %d, want 200", code)
+			}
+		})
+	}
+}

@@ -28,6 +28,10 @@ import (
 //	POST /views  {"name","spec","source_dtd","target_dtd"} → register a view
 //	GET  /snapshot?doc=NAME                              → binary columnar snapshot
 //	POST /snapshot?name=NAME  (binary body)              → register from a snapshot
+//	GET  /collections                                    → corpus collections
+//	GET  /collections/{name}                             → one collection's documents
+//	POST /collections/{name}/query  {"query","view","prefilter"} → streamed fan-out results
+//	POST /collections/{name}/reindex                     → forced synchronous reindex
 //	GET  /stats                                          → Stats
 //	GET  /metrics                                        → Prometheus text format
 //	GET  /slow                                           → slow-query log
@@ -48,6 +52,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /views", s.handleRegisterView)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshotPost)
+	mux.HandleFunc("GET /collections", s.handleCollections)
+	mux.HandleFunc("GET /collections/{name}", s.handleCollectionGet)
+	mux.HandleFunc("POST /collections/{name}/query", s.handleCollectionQuery)
+	mux.HandleFunc("POST /collections/{name}/reindex", s.handleCollectionReindex)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /slow", s.handleSlow)

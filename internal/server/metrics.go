@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smoqe/internal/corpus"
 	"smoqe/internal/telemetry"
 )
 
@@ -170,6 +171,40 @@ func (m *metrics) traceFinished(spans int, retained bool) {
 	} else {
 		m.traceDropped.Inc()
 	}
+}
+
+// corpusScanned is the corpus manager's OnScan hook: after every completed
+// collection scan it publishes the collection's serving state as gauges
+// and observes the scan (= incremental reindex pass) latency.
+func (m *metrics) corpusScanned(info corpus.CollectionInfo, elapsed time.Duration) {
+	labels := telemetry.Labels{"collection": info.Name}
+	m.reg.Gauge("smoqe_corpus_generation",
+		"Current manifest generation, by collection.", labels).
+		Set(float64(info.Generation))
+	m.reg.Gauge("smoqe_corpus_docs_indexed",
+		"Documents indexed and serveable, by collection.", labels).
+		Set(float64(info.Indexed))
+	m.reg.Gauge("smoqe_corpus_docs_pending",
+		"Documents awaiting (re)indexing or in retry backoff, by collection.", labels).
+		Set(float64(info.Pending))
+	m.reg.Gauge("smoqe_corpus_docs_quarantined",
+		"Documents quarantined after failed validation, by collection.", labels).
+		Set(float64(info.Quarantined))
+	m.reg.Histogram("smoqe_corpus_reindex_seconds",
+		"Time one collection scan (incremental reindex pass) took, by collection.",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}, labels).
+		Observe(elapsed.Seconds())
+}
+
+// corpusPrefilterSkipped counts documents a fan-out query skipped because
+// their fingerprint refuted the query.
+func (m *metrics) corpusPrefilterSkipped(collection string, n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.reg.Counter("smoqe_corpus_skipped_prefilter_total",
+		"Documents skipped by the fingerprint prefilter during fan-out queries, by collection.",
+		telemetry.Labels{"collection": collection}).Add(int64(n))
 }
 
 // breakerTransition records one circuit-breaker state change: a transition

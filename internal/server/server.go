@@ -9,9 +9,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"smoqe"
+	"smoqe/internal/corpus"
 	"smoqe/internal/failpoint"
 	"smoqe/internal/guard"
 	"smoqe/internal/hype"
@@ -91,6 +93,24 @@ type Config struct {
 	// SlowQueryThreshold, so every /slow entry has a retained trace;
 	// negative disables latency-based retention).
 	TraceLatencyRetention time.Duration
+	// CorpusScanInterval is the corpus background rescan period (default
+	// 2s); CorpusRetryBase/CorpusRetryMax/CorpusMaxRetries tune the
+	// indexer's per-document retry backoff. Zero fields take the corpus
+	// package defaults. Only meaningful after OpenCorpus.
+	CorpusScanInterval time.Duration
+	CorpusRetryBase    time.Duration
+	CorpusRetryMax     time.Duration
+	CorpusMaxRetries   int
+	// CorpusMaxConcurrentQueries bounds concurrent fan-out queries per
+	// collection (default 4; negative disables the bound). Excess requests
+	// queue up to QueueWait and are then shed with ErrOverloaded.
+	CorpusMaxConcurrentQueries int
+	// CorpusWorkers is the per-query document fan-out worker count
+	// (default GOMAXPROCS capped at 8; negative means 1).
+	CorpusWorkers int
+	// CorpusLogf receives corpus operational messages (quarantines,
+	// manifest recovery fallbacks). Nil means silent.
+	CorpusLogf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -115,7 +135,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelism < 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
-	if c.MaxConcurrentEvals > 0 && c.QueueWait == 0 {
+	if c.CorpusMaxConcurrentQueries == 0 {
+		c.CorpusMaxConcurrentQueries = 4
+	}
+	if c.CorpusWorkers == 0 {
+		c.CorpusWorkers = runtime.GOMAXPROCS(0)
+		if c.CorpusWorkers > 8 {
+			c.CorpusWorkers = 8
+		}
+	}
+	if (c.MaxConcurrentEvals > 0 || c.CorpusMaxConcurrentQueries > 0) && c.QueueWait == 0 {
 		c.QueueWait = 100 * time.Millisecond
 	}
 	if c.MaxBodyBytes == 0 {
@@ -174,25 +203,38 @@ type Server struct {
 	brk *breakerGroup
 	// tracer starts per-request traces (nil when tracing is disabled).
 	tracer *trace.Tracer
+	// corpus is the attached collection manager (nil until OpenCorpus).
+	corpus *corpus.Manager
+	// corpusBrk holds the per-collection circuit breakers for fan-out
+	// queries, keyed "collection/<name>" to stay distinguishable from view
+	// breakers in health and metric labels.
+	corpusBrk *breakerGroup
+	// corpusSems holds the per-collection admission semaphores, created
+	// lazily on first query.
+	corpusSemMu sync.Mutex
+	corpusSems  map[string]chan struct{} // guarded by corpusSemMu
 }
 
 // New returns a server with an empty registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(),
-		cache: NewPlanCache(cfg.CacheSize),
-		start: time.Now(),
-		slow:  NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
+		cfg:        cfg,
+		reg:        NewRegistry(),
+		cache:      NewPlanCache(cfg.CacheSize),
+		start:      time.Now(),
+		slow:       NewSlowLog(cfg.SlowLogSize, cfg.SlowQueryThreshold),
+		corpusSems: make(map[string]chan struct{}),
 	}
 	if cfg.MaxConcurrentEvals > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrentEvals)
 	}
 	s.reg.SetParseLimits(cfg.ParseLimits)
 	s.brk = newBreakerGroup(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	s.corpusBrk = newBreakerGroup(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.met = newMetrics(s)
 	s.brk.onTransition = s.met.breakerTransition
+	s.corpusBrk.onTransition = s.met.breakerTransition
 	if cfg.TraceStoreSize > 0 {
 		s.tracer = trace.New(trace.Config{
 			Capacity:         cfg.TraceStoreSize,
@@ -246,15 +288,16 @@ func (s *Server) RegisterViewSpec(name, spec, sourceDTD, targetDTD string) (*Vie
 
 // LoadSnapshotDir registers every "*.smoqe-snapshot" file in dir as a
 // document named after its base name (corpus.smoqe-snapshot → "corpus").
-// It returns how many snapshots were registered; the first unreadable or
-// corrupt snapshot aborts the scan with an error. Intended for startup
+// It returns how many snapshots were registered, plus one error per
+// unreadable or corrupt snapshot that was skipped: a single bad file
+// must not keep the daemon (and every healthy snapshot) down. Only an
+// unreadable directory fails the scan itself. Intended for startup
 // (smoqed -snapshot-dir), before traffic arrives.
-func (s *Server) LoadSnapshotDir(dir string) (int, error) {
+func (s *Server) LoadSnapshotDir(dir string) (loaded int, skipped []error, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, fmt.Errorf("server: snapshot dir: %w", err)
+		return 0, nil, fmt.Errorf("server: snapshot dir: %w", err)
 	}
-	loaded := 0
 	for _, de := range entries {
 		if de.IsDir() || !strings.HasSuffix(de.Name(), smoqe.SnapshotFileExt) {
 			continue
@@ -262,17 +305,19 @@ func (s *Server) LoadSnapshotDir(dir string) (int, error) {
 		start := time.Now()
 		cd, err := smoqe.LoadSnapshot(filepath.Join(dir, de.Name()))
 		if err != nil {
-			return loaded, fmt.Errorf("server: snapshot %s: %w", de.Name(), err)
+			skipped = append(skipped, fmt.Errorf("server: snapshot %s: %w", de.Name(), err))
+			continue
 		}
 		name := strings.TrimSuffix(de.Name(), smoqe.SnapshotFileExt)
 		if _, err := s.reg.RegisterSnapshot(name, cd); err != nil {
-			return loaded, err
+			skipped = append(skipped, err)
+			continue
 		}
 		s.met.snapshotLoads.Inc()
 		s.met.snapshotLoadTime.Observe(time.Since(start).Seconds())
 		loaded++
 	}
-	return loaded, nil
+	return loaded, skipped, nil
 }
 
 // QueryRequest asks for one evaluation.
@@ -854,9 +899,15 @@ type HealthInfo struct {
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	// Breakers maps each view that has seen traffic to its circuit-breaker
 	// state ("closed", "open", "half-open"); the empty key is the
-	// direct-document breaker. Omitted when breakers are disabled or idle.
-	// Any open breaker degrades Status to "degraded".
+	// direct-document breaker and "collection/<name>" keys are collection
+	// fan-out breakers. Omitted when breakers are disabled or idle. Any
+	// open breaker degrades Status to "degraded".
 	Breakers map[string]string `json:"breakers,omitempty"`
+	// Corpus maps each collection to its serving state. Present only when
+	// a corpus is attached. A collection with quarantined documents or a
+	// stale index keeps serving its last good generation but degrades
+	// Status to "degraded".
+	Corpus map[string]CorpusHealth `json:"corpus,omitempty"`
 }
 
 // Health returns the server's build/version/uptime report.
@@ -868,11 +919,21 @@ func (s *Server) Health() HealthInfo {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Breakers:      s.brk.snapshot(),
 	}
+	for key, state := range s.corpusBrk.snapshot() {
+		if h.Breakers == nil {
+			h.Breakers = make(map[string]string)
+		}
+		h.Breakers[key] = state
+	}
 	for _, state := range h.Breakers {
 		if state != breakerClosed {
 			h.Status = "degraded"
 			break
 		}
+	}
+	var corpusDegraded bool
+	if h.Corpus, corpusDegraded = s.corpusHealth(); corpusDegraded {
+		h.Status = "degraded"
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		h.Module = bi.Main.Path

@@ -204,12 +204,12 @@ func TestLoadSnapshotDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(Config{})
-	n, err := s.LoadSnapshotDir(dir)
+	n, skipped, err := s.LoadSnapshotDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("loaded %d snapshots, want 2", n)
+	if n != 2 || len(skipped) != 0 {
+		t.Fatalf("loaded %d snapshots (%d skipped), want 2 (0 skipped)", n, len(skipped))
 	}
 	for _, name := range []string{"alpha", "beta"} {
 		resp, err := s.Query(context.Background(), QueryRequest{Doc: name, Query: "//patient", Engine: EngineColumnar})
@@ -220,12 +220,24 @@ func TestLoadSnapshotDir(t *testing.T) {
 			t.Errorf("query on %s: no patients in a datagen corpus", name)
 		}
 	}
-	// A corrupt snapshot aborts the scan with an error.
+	// A corrupt snapshot is skipped and reported — it must not take the
+	// healthy snapshots (or the daemon) down with it.
 	if err := os.WriteFile(filepath.Join(dir, "corrupt"+smoqe.SnapshotFileExt), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(Config{}).LoadSnapshotDir(dir); err == nil {
-		t.Error("corrupt snapshot in dir: want error")
+	s2 := New(Config{})
+	n, skipped, err = s2.LoadSnapshotDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(skipped) != 1 {
+		t.Fatalf("with corrupt file: loaded %d (%d skipped), want 2 (1 skipped)", n, len(skipped))
+	}
+	if !strings.Contains(skipped[0].Error(), "corrupt"+smoqe.SnapshotFileExt) {
+		t.Errorf("skip error %q does not name the corrupt file", skipped[0])
+	}
+	if _, ok := s2.Registry().Document("alpha"); !ok {
+		t.Error("healthy snapshot alpha not registered despite corrupt sibling")
 	}
 }
 

@@ -74,6 +74,12 @@ type PreparedQuery struct {
 	opt map[*Index]*enginePool                 // guarded by mu
 	col map[*ColumnarDocument]*hype.ColBinding // guarded by mu
 
+	// pf is the corpus-level document prefilter, built lazily (most
+	// prepared queries never query a collection) and shared — a Prefilter
+	// is immutable.
+	pfOnce sync.Once
+	pf     *hype.Prefilter
+
 	evals   atomic.Int64
 	visited atomic.Int64
 	skipSub atomic.Int64
@@ -81,6 +87,14 @@ type PreparedQuery struct {
 	cansV   atomic.Int64
 	cansE   atomic.Int64
 	afaEv   atomic.Int64
+}
+
+// Prefilter returns the query's document-level prefilter: a sound,
+// fingerprint-only test that a document cannot contain an answer. Built on
+// first use and cached; safe for concurrent use.
+func (p *PreparedQuery) Prefilter() *hype.Prefilter {
+	p.pfOnce.Do(func() { p.pf = hype.NewPrefilter(p.m) })
+	return p.pf
 }
 
 // enginePool hands out independent clones of one prototype engine.
