@@ -4,44 +4,66 @@
 //
 // Usage:
 //
-//	smoqevet [-checks a,b] [-list] [packages]
+//	smoqevet [-checks a,b] [-json] [-parallel n] [-list] [packages]
 //
 // Packages default to ./... resolved against the enclosing module.
-// Diagnostics print as path:line:col: [analyzer] message. Exit status is
-// 0 when clean, 1 when diagnostics were reported, 2 on usage or load
-// errors.
+// Diagnostics print as path:line:col: [analyzer] message, or as a JSON
+// array with -json (which also includes suppressed findings, flagged).
+// Packages are analyzed concurrently (-parallel bounds the workers);
+// output order is deterministic either way. When running the full suite,
+// a //lint:ignore directive that suppresses nothing is itself reported.
+// Exit status is 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"smoqe/internal/analysis"
+	"smoqe/internal/analysis/alloccheck"
 	"smoqe/internal/analysis/atomiccheck"
 	"smoqe/internal/analysis/ctxcheck"
 	"smoqe/internal/analysis/failpointcheck"
 	"smoqe/internal/analysis/guardcheck"
+	"smoqe/internal/analysis/leakcheck"
 	"smoqe/internal/analysis/lockcheck"
+	"smoqe/internal/analysis/lockordercheck"
 	"smoqe/internal/analysis/metriccheck"
 	"smoqe/internal/analysis/spancheck"
 )
 
 // all is every analyzer smoqevet knows, in output order.
 var all = []*analysis.Analyzer{
+	alloccheck.Analyzer,
 	atomiccheck.Analyzer,
 	ctxcheck.Analyzer,
 	failpointcheck.Analyzer,
 	guardcheck.Analyzer,
+	leakcheck.Analyzer,
 	lockcheck.Analyzer,
+	lockordercheck.Analyzer,
 	metriccheck.Analyzer,
 	spancheck.Analyzer,
 }
 
 func main() {
 	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // run is main, factored for testing: args are the command-line arguments,
@@ -51,6 +73,8 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON (includes suppressed findings)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "maximum concurrent package analyses")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,15 +120,47 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	prog := analysis.NewProgram(loader.Fset, pkgs)
-	diags, err := analysis.Run(prog, analyzers)
+	// Stale-ignore detection is only sound when every analyzer a directive
+	// could name actually ran, so it is tied to the full suite.
+	opt := analysis.RunOptions{Workers: *parallel, StaleIgnores: *checks == ""}
+	diags, err := analysis.RunWith(prog, analyzers, opt)
 	if err != nil {
 		fmt.Fprintf(stderr, "smoqevet: %v\n", err)
 		return 2
 	}
+
+	failing := 0
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		if !d.Suppressed {
+			failing++
+		}
 	}
-	if len(diags) > 0 {
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Check:      d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "smoqevet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Suppressed {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+	}
+	if failing > 0 {
 		return 1
 	}
 	return 0

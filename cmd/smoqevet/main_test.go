@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"go/format"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +31,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, ".", &out, &errOut); code != 0 {
 		t.Fatalf("run -list = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"lockcheck", "atomiccheck", "failpointcheck", "metriccheck", "ctxcheck", "guardcheck", "spancheck"} {
+	for _, name := range []string{"lockcheck", "atomiccheck", "failpointcheck", "metriccheck", "ctxcheck", "guardcheck", "spancheck", "lockordercheck", "alloccheck", "leakcheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -93,6 +96,149 @@ func ok(x *c) {
 	errOut.Reset()
 	if code := run([]string{"./..."}, dir, &out, &errOut); code != 0 {
 		t.Fatalf("run after suppression = %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutput: -json includes suppressed findings, flagged, and the
+// exit status only counts the unsuppressed ones.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func bump(x *c) {
+	x.n++
+}
+
+func quiet(x *c) {
+	//lint:ignore lockcheck test fixture
+	x.n++
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./..."}, dir, &out, &errOut); code != 1 {
+		t.Fatalf("run -json = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	var open, suppressed int
+	for _, d := range diags {
+		if d.Check != "lockcheck" {
+			continue
+		}
+		if d.File == "" || d.Line == 0 || d.Column == 0 || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			suppressed++
+		} else {
+			open++
+		}
+	}
+	if open != 1 || suppressed != 1 {
+		t.Errorf("open=%d suppressed=%d, want 1 and 1:\n%s", open, suppressed, out.String())
+	}
+}
+
+// TestStaleIgnoreEndToEnd: a directive that suppresses nothing fails the
+// full-suite run.
+func TestStaleIgnoreEndToEnd(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+func fine() int {
+	//lint:ignore lockcheck nothing here needs suppressing
+	return 1
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, dir, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "stale //lint:ignore lockcheck directive: suppresses no diagnostic") {
+		t.Errorf("missing stale-directive diagnostic:\n%s", out.String())
+	}
+
+	// With -checks the suite is filtered and stale detection must be off:
+	// the directive's analyzer may simply not have run.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checks", "atomiccheck", "./..."}, dir, &out, &errOut); code != 0 {
+		t.Fatalf("run -checks atomiccheck = %d, want 0; stdout: %s", code, out.String())
+	}
+}
+
+// TestEveryAnalyzerHasFixtures: each registered analyzer ships at least
+// one golden fixture package under its testdata/src.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range all {
+		root := filepath.Join("..", "..", "internal", "analysis", a.Name, "testdata", "src")
+		ents, err := os.ReadDir(root)
+		if err != nil {
+			t.Errorf("%s: no fixture root: %v", a.Name, err)
+			continue
+		}
+		found := false
+		for _, e := range ents {
+			if !e.IsDir() {
+				continue
+			}
+			sub, err := os.ReadDir(filepath.Join(root, e.Name()))
+			if err != nil {
+				continue
+			}
+			for _, f := range sub {
+				if f.IsDir() || strings.HasSuffix(f.Name(), ".go") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: fixture root %s has no fixture packages", a.Name, root)
+		}
+	}
+}
+
+// TestFixturesAreGofmtClean walks every testdata fixture in the analysis
+// tree and requires gofmt-clean source, so the convention is enforced by
+// `go test` locally and not only by CI's format gate.
+func TestFixturesAreGofmtClean(t *testing.T) {
+	root := filepath.Join("..", "..", "internal", "analysis")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || !strings.Contains(path, "testdata") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: does not parse: %v", path, err)
+			return nil
+		}
+		if string(formatted) != string(src) {
+			t.Errorf("%s: not gofmt-clean", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,516 @@
+// Package alloccheck finds allocations sized by untrusted input — the
+// class behind the snapshot-decoder over-allocation the corpus fuzzer hit:
+// a length field read from an attacker-controlled byte stream flowing into
+// make() without a dominating bound check lets a tiny input commit
+// gigabytes.
+//
+// Sizes become tainted at the decode sources: encoding/binary's
+// ByteOrder.Uint16/Uint32/Uint64 and Read[U]varint. Taint propagates
+// through arithmetic, conversions, assignments, and — via the shared call
+// graph — function returns and parameters, so a decoder helper that
+// returns a raw length taints its callers and a helper that allocates from
+// its parameter is flagged at the call site that feeds it untrusted data.
+//
+// A comparison dominates the allocation away: on the path where n is known
+// bounded above (n < k, n <= k, n == k false-branch of n > k / n >= k, or
+// equality), n is clean. min(n, k) is clean when either argument is.
+// Reported sites are make() length/capacity arguments; growth via append
+// of a made chunk is caught at the inner make.
+//
+// Known over-approximations (docs/ANALYSIS.md): taint only flows through
+// identifiers — struct fields and container elements drop it; any bound
+// comparison sanitizes, even against another untrusted value; the
+// false-branch of `a && b` sanitizes b's comparison conjuncts even though
+// `!a` alone explains it (matching the idiomatic `if err == nil && n >
+// max` guard). These trade soundness for a clean signal on decoder code.
+package alloccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smoqe/internal/analysis"
+)
+
+// Analyzer is the alloccheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "alloccheck",
+	Doc:        "make() sizes derived from untrusted decode input need a dominating bound check",
+	RunProgram: run,
+}
+
+// colors is a taint bitmask: bit 0 is "untrusted decode input"; bit i+1
+// tracks flow from the current function's i-th parameter, for building
+// interprocedural summaries.
+type colors = uint64
+
+const untrusted colors = 1
+
+func paramBit(i int) colors {
+	if i > 61 {
+		i = 61 // saturate: parameters beyond 62 share a bit
+	}
+	return 1 << (i + 1)
+}
+
+// allocState maps local objects to their taint colors.
+type allocState map[types.Object]colors
+
+func (s allocState) clone() allocState {
+	c := make(allocState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeState unions taint — may-analysis: tainted on either path is
+// tainted after the join.
+func mergeState(a, b allocState) allocState {
+	out := make(allocState, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func replaceState(dst, src allocState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	graph *analysis.CallGraph
+
+	// retColors summarizes what a function's results carry: the untrusted
+	// bit and/or parameter bits that flow to a return value.
+	retColors map[*types.Func]colors
+	// paramAlloc flags parameters that reach a make() size in the function
+	// (transitively) without a dominating bound.
+	paramAlloc map[*types.Func]colors
+
+	cur       *analysis.CallNode
+	curRet    colors
+	curParams map[types.Object]int
+	reporting bool
+	reported  map[token.Pos]bool
+	changed   bool
+
+	ops *analysis.FlowOps[allocState]
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		graph:      pass.Program.CallGraph(),
+		retColors:  make(map[*types.Func]colors),
+		paramAlloc: make(map[*types.Func]colors),
+		reported:   make(map[token.Pos]bool),
+	}
+	c.ops = &analysis.FlowOps[allocState]{
+		Clone:    allocState.clone,
+		Merge:    mergeState,
+		Replace:  replaceState,
+		Transfer: c.transfer,
+		Cond:     func(e ast.Expr, state allocState) { c.scanExpr(e, state) },
+		Refine:   c.refine,
+	}
+	// Summary fixpoint: walk every function until retColors/paramAlloc
+	// stabilize, then one reporting pass.
+	for c.changed = true; c.changed; {
+		c.changed = false
+		for _, n := range c.graph.Nodes() {
+			c.walkNode(n)
+		}
+	}
+	c.reporting = true
+	for _, n := range c.graph.Nodes() {
+		c.walkNode(n)
+	}
+	return nil
+}
+
+// walkNode flow-walks one declaration with its parameters tainted by their
+// summary bits, updating the function's summaries.
+func (c *checker) walkNode(n *analysis.CallNode) {
+	c.cur = n
+	c.curRet = 0
+	c.curParams = make(map[types.Object]int)
+	c.ops.Pkg = n.Pkg
+	state := make(allocState)
+	sig := n.Func.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		c.curParams[p] = i
+		state[p] = paramBit(i)
+	}
+	c.ops.Walk(n.Decl.Body.List, state)
+	if c.curRet != c.retColors[n.Func] {
+		c.retColors[n.Func] = c.curRet
+		c.changed = true
+	}
+}
+
+func (c *checker) recordParamAlloc(mask colors) {
+	mask &^= untrusted
+	if mask == 0 {
+		return
+	}
+	if old := c.paramAlloc[c.cur.Func]; old|mask != old {
+		c.paramAlloc[c.cur.Func] = old | mask
+		c.changed = true
+	}
+}
+
+// transfer interprets simple statements: assignments move taint,
+// everything is scanned for allocation and call sites.
+func (c *checker) transfer(s ast.Stmt, state allocState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scanExpr(rhs, state)
+		}
+		c.assign(s, state)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, state)
+			c.curRet |= c.eval(r, state)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					c.scanExpr(v, state)
+				}
+				if len(vs.Values) == len(vs.Names) {
+					for i, name := range vs.Names {
+						if obj := c.cur.Pkg.Info.Defs[name]; obj != nil {
+							state[obj] = c.eval(vs.Values[i], state)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, state)
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, state)
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, state)
+	case *ast.DeferStmt:
+		c.scanExpr(s.Call, state)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, state)
+		c.scanExpr(s.Value, state)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, state)
+	}
+}
+
+// assign moves colors from the right-hand sides onto identifier targets.
+func (c *checker) assign(s *ast.AssignStmt, state allocState) {
+	setIdent := func(lhs ast.Expr, v colors, op token.Token) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := c.cur.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = c.cur.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if op == token.ASSIGN || op == token.DEFINE {
+			state[obj] = v
+		} else {
+			state[obj] |= v // compound ops keep the old taint too
+		}
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// n, err := f(): every target gets the call's result colors.
+		v := c.eval(s.Rhs[0], state)
+		for _, lhs := range s.Lhs {
+			setIdent(lhs, v, s.Tok)
+		}
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			setIdent(s.Lhs[i], c.eval(s.Rhs[i], state), s.Tok)
+		}
+	}
+}
+
+// eval computes the taint colors of an expression.
+func (c *checker) eval(e ast.Expr, state allocState) colors {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.cur.Pkg.Info.Uses[e]; obj != nil {
+			return state[obj]
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+			return c.eval(e.X, state) | c.eval(e.Y, state)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD || e.Op == token.XOR {
+			return c.eval(e.X, state)
+		}
+	case *ast.CallExpr:
+		return c.evalCall(e, state)
+	case *ast.StarExpr:
+		return c.eval(e.X, state)
+	}
+	return 0
+}
+
+// evalCall computes the colors a call's results carry.
+func (c *checker) evalCall(call *ast.CallExpr, state allocState) colors {
+	// Conversions pass taint through: int(n), uint32(n).
+	if tv, ok := c.cur.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.eval(call.Args[0], state)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.cur.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "min":
+				// Bounded by the cleanest argument.
+				out := ^colors(0)
+				for _, a := range call.Args {
+					out &= c.eval(a, state)
+				}
+				return out
+			case "max":
+				var out colors
+				for _, a := range call.Args {
+					out |= c.eval(a, state)
+				}
+				return out
+			}
+			return 0 // len, cap, and friends are trusted
+		}
+	}
+	fn := analysis.StaticCallee(c.cur.Pkg, call)
+	if fn == nil {
+		return 0
+	}
+	if isDecodeSource(fn) {
+		return untrusted
+	}
+	if c.graph.Node(fn) == nil {
+		return 0 // external, not a known source: trusted
+	}
+	// Substitute argument colors into the callee's return summary.
+	raw := c.retColors[fn]
+	out := raw & untrusted
+	sig := fn.Type().(*types.Signature)
+	for ai, a := range call.Args {
+		pi := ai
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= 0 && raw&paramBit(pi) != 0 {
+			out |= c.eval(a, state)
+		}
+	}
+	return out
+}
+
+// isDecodeSource reports whether fn is an untrusted-input source: an
+// encoding/binary fixed-width read or varint decode.
+func isDecodeSource(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch fn.Name() {
+	case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint":
+		return true
+	}
+	return false
+}
+
+// scanExpr checks allocation and call sites inside an expression.
+func (c *checker) scanExpr(e ast.Expr, state allocState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// The literal may run later, but captures share objects: walk
+			// it on a snapshot of the current taint.
+			if lit.Body != nil {
+				c.ops.Walk(lit.Body.List, state.clone())
+			}
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+			if _, isBuiltin := c.cur.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+				c.checkMake(call, state)
+				return true
+			}
+		}
+		c.checkCallArgs(call, state)
+		return true
+	})
+}
+
+// checkMake flags a make() whose allocation size is untrusted. With a
+// capacity argument the capacity alone determines the allocation.
+func (c *checker) checkMake(call *ast.CallExpr, state allocState) {
+	var size ast.Expr
+	switch len(call.Args) {
+	case 2:
+		size = call.Args[1]
+	case 3:
+		size = call.Args[2]
+	default:
+		return
+	}
+	v := c.eval(size, state)
+	if v&untrusted != 0 {
+		c.report(call.Pos(), "allocation sized by untrusted input without a dominating bound check")
+	}
+	c.recordParamAlloc(v)
+}
+
+// checkCallArgs flags arguments feeding a callee parameter that reaches an
+// unbounded allocation.
+func (c *checker) checkCallArgs(call *ast.CallExpr, state allocState) {
+	fn := analysis.StaticCallee(c.cur.Pkg, call)
+	if fn == nil {
+		return
+	}
+	mask := c.paramAlloc[fn]
+	if mask == 0 {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for ai, a := range call.Args {
+		pi := ai
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < 0 || mask&paramBit(pi) == 0 {
+			continue
+		}
+		v := c.eval(a, state)
+		if v&untrusted != 0 {
+			c.report(a.Pos(), "untrusted size flows into %s, which allocates from it without a bound check", fn.Name())
+		}
+		c.recordParamAlloc(v)
+	}
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if !c.reporting || c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// refine sharpens taint under a branch condition: on the arm where a value
+// is known bounded above, it is clean.
+func (c *checker) refine(cond ast.Expr, outcome bool, state allocState) {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			c.refine(cond.X, !outcome, state)
+		}
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.LAND:
+			if outcome {
+				c.refine(cond.X, true, state)
+				c.refine(cond.Y, true, state)
+			} else {
+				// Heuristic (documented): !(a && b) does not imply !b, but
+				// the idiomatic `if err == nil && n > max { return }` guard
+				// does bound n on the fall-through; trust comparison
+				// conjuncts.
+				c.refineComparison(cond.X, false, state)
+				c.refineComparison(cond.Y, false, state)
+			}
+		case token.LOR:
+			if !outcome {
+				c.refine(cond.X, false, state)
+				c.refine(cond.Y, false, state)
+			}
+		default:
+			c.refineComparison(cond, outcome, state)
+		}
+	}
+}
+
+// refineComparison cleans the side of a comparison that the outcome proves
+// bounded above.
+func (c *checker) refineComparison(cond ast.Expr, outcome bool, state allocState) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	boundLeft, boundRight := false, false
+	switch be.Op {
+	case token.LSS, token.LEQ:
+		if outcome {
+			boundLeft = true
+		} else {
+			boundRight = true
+		}
+	case token.GTR, token.GEQ:
+		if outcome {
+			boundRight = true
+		} else {
+			boundLeft = true
+		}
+	case token.EQL:
+		if outcome {
+			boundLeft, boundRight = true, true
+		}
+	case token.NEQ:
+		if !outcome {
+			boundLeft, boundRight = true, true
+		}
+	}
+	if boundLeft {
+		c.clean(be.X, state)
+	}
+	if boundRight {
+		c.clean(be.Y, state)
+	}
+}
+
+// clean clears the taint of every identifier inside a bounded expression:
+// if 24+int64(n)+4 == len(buf), then n is bounded by the real buffer.
+func (c *checker) clean(e ast.Expr, state allocState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.cur.Pkg.Info.Uses[id]; obj != nil {
+				if _, tracked := state[obj]; tracked {
+					state[obj] = 0
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/alloccheck"
+	"smoqe/internal/analysis/analysistest"
+)
+
+func TestAllocCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), alloccheck.Analyzer, "a")
+}

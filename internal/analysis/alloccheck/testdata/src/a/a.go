@@ -1,0 +1,91 @@
+// Package a reproduces the snapshot-decoder over-allocation class: length
+// fields read from an attacker-controlled byte stream flowing into make().
+package a
+
+import "encoding/binary"
+
+const maxCount = 1 << 20
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+// u32 reads a fixed-width length field from the untrusted buffer.
+func (d *decoder) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// badCol is the pre-fix decoder shape: a raw count straight into make.
+func badCol(d *decoder) []int32 {
+	n := int(d.u32())
+	return make([]int32, n) // want `allocation sized by untrusted input without a dominating bound check`
+}
+
+// badVarint taints through the varint decode source too.
+func badVarint(r interface{ ReadByte() (byte, error) }) []byte {
+	n, _ := binary.ReadUvarint(r)
+	return make([]byte, n) // want `allocation sized by untrusted input without a dominating bound check`
+}
+
+// goodCol bounds the count before allocating.
+func goodCol(d *decoder) []int32 {
+	n := int(d.u32())
+	if n > maxCount {
+		return nil
+	}
+	return make([]int32, n)
+}
+
+// minCol bounds via min(): the allocation cannot exceed the chunk size.
+func minCol(d *decoder) []byte {
+	n := int(d.u32())
+	return make([]byte, min(n, 4096))
+}
+
+// alloc allocates from its parameter; untrusted callers are the finding.
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// badParam feeds a raw count into a parameter that reaches make.
+func badParam(d *decoder) []byte {
+	n := int(d.u32())
+	return alloc(n) // want `untrusted size flows into alloc, which allocates from it without a bound check`
+}
+
+// goodParam clamps before the call.
+func goodParam(d *decoder) []byte {
+	n := int(d.u32())
+	if n >= maxCount {
+		n = maxCount
+	}
+	return alloc(n)
+}
+
+// indirect launders the count through a helper return: still tainted.
+func passthrough(n int) int { return n + 8 }
+
+func badIndirect(d *decoder) []byte {
+	n := passthrough(int(d.u32()))
+	return make([]byte, n) // want `allocation sized by untrusted input without a dominating bound check`
+}
+
+// guarded uses the conjoined guard idiom the decoder really uses; the
+// fall-through bounds n even though !(a && b) alone would not prove it.
+func guarded(d *decoder, trusted bool) []int32 {
+	n := int(d.u32())
+	if !trusted && n > maxCount {
+		return nil
+	}
+	return make([]int32, n)
+}
+
+// suppressed keeps a deliberate unbounded allocation under a directive.
+func suppressed(d *decoder) []byte {
+	n := int(d.u32())
+	//lint:ignore alloccheck fixture coverage for the suppressed case
+	return make([]byte, n)
+}

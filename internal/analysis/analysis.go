@@ -23,12 +23,14 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check. Exactly one of Run and RunProgram must be
@@ -47,10 +49,14 @@ type Analyzer struct {
 }
 
 // Diagnostic is one finding: where, by which analyzer, and what.
+// Suppressed findings (covered by a //lint:ignore directive) are dropped
+// by Run but kept, flagged, by RunWith — machine consumers (-json) see
+// them, the exit status does not count them.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -70,7 +76,7 @@ type Package struct {
 	Info  *types.Info
 
 	// ignores holds the parsed //lint:ignore directives, keyed by filename.
-	ignores map[string][]ignoreDirective
+	ignores map[string][]*ignoreDirective
 	// directiveErrs are malformed directives, reported unconditionally.
 	directiveErrs []Diagnostic
 }
@@ -79,6 +85,9 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // Pass carries one analyzer invocation's context and collects its
@@ -106,9 +115,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ignoreDirective is one parsed //lint:ignore comment. It suppresses
 // matching diagnostics on its own line and the line directly below it.
 type ignoreDirective struct {
+	pos    token.Position
 	line   int
 	checks []string
 	reason string
+	used   bool // set when the directive suppressed at least one diagnostic
 }
 
 func (d ignoreDirective) matches(analyzer string) bool {
@@ -125,8 +136,8 @@ const ignorePrefix = "//lint:ignore"
 // parseIgnores scans a file's comments for //lint:ignore directives.
 // Malformed directives (no checks, or no reason) are returned as
 // diagnostics so a typo cannot silently disable a check.
-func parseIgnores(fset *token.FileSet, file *ast.File) ([]ignoreDirective, []Diagnostic) {
-	var dirs []ignoreDirective
+func parseIgnores(fset *token.FileSet, file *ast.File) ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
 	var errs []Diagnostic
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
@@ -143,7 +154,8 @@ func parseIgnores(fset *token.FileSet, file *ast.File) ([]ignoreDirective, []Dia
 				})
 				continue
 			}
-			dirs = append(dirs, ignoreDirective{
+			dirs = append(dirs, &ignoreDirective{
+				pos:    fset.Position(c.Pos()),
 				line:   fset.Position(c.Pos()).Line,
 				checks: strings.Split(fields[0], ","),
 				reason: strings.Join(fields[1:], " "),
@@ -153,9 +165,12 @@ func parseIgnores(fset *token.FileSet, file *ast.File) ([]ignoreDirective, []Dia
 	return dirs, errs
 }
 
-// suppressed reports whether d is covered by an ignore directive of its
-// file: one on the same line (trailing comment) or the line directly above.
-func (prog *Program) suppressed(d Diagnostic) bool {
+// markSuppressed reports whether d is covered by an ignore directive of
+// its file — one on the same line (trailing comment) or the line directly
+// above — and marks every covering directive used, for stale detection.
+// Callers serialize access (the collector lock).
+func (prog *Program) markSuppressed(d Diagnostic) bool {
+	suppressed := false
 	for _, pkg := range prog.Packages {
 		dirs, ok := pkg.ignores[d.Pos.Filename]
 		if !ok {
@@ -163,44 +178,137 @@ func (prog *Program) suppressed(d Diagnostic) bool {
 		}
 		for _, dir := range dirs {
 			if (dir.line == d.Pos.Line || dir.line+1 == d.Pos.Line) && dir.matches(d.Analyzer) {
-				return true
+				dir.used = true
+				suppressed = true
 			}
 		}
 	}
-	return false
+	return suppressed
+}
+
+// RunOptions tunes a RunWith invocation.
+type RunOptions struct {
+	// Workers caps how many (analyzer, package) tasks run concurrently;
+	// values below 1 mean sequential. Output is position-sorted either
+	// way, so parallel and sequential runs print identically.
+	Workers int
+	// StaleIgnores reports //lint:ignore directives that suppressed no
+	// diagnostic of the run (analyzer "lint"). Only enable it when every
+	// analyzer a directive could name is part of the run — with a
+	// filtered analyzer set, a directive for an unselected check would be
+	// falsely stale.
+	StaleIgnores bool
 }
 
 // Run executes the analyzers over the program and returns the surviving
 // diagnostics sorted by position. Suppressed findings are dropped;
 // malformed //lint:ignore directives are always reported (analyzer "lint").
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	collect := func(d Diagnostic) {
-		if !prog.suppressed(d) {
-			diags = append(diags, d)
+	diags, err := RunWith(prog, analyzers, RunOptions{})
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
 		}
+	}
+	return kept, err
+}
+
+// RunWith executes the analyzers over the program and returns every
+// diagnostic — suppressed ones included, flagged — sorted by position.
+// With Workers > 1, per-package analyzer invocations run concurrently;
+// the sorted result is byte-identical to a sequential run.
+func RunWith(prog *Program, analyzers []*Analyzer, opt RunOptions) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.Run == nil && a.RunProgram == nil {
+			return nil, fmt.Errorf("analysis: %s: neither Run nor RunProgram set", a.Name)
+		}
+	}
+
+	var mu sync.Mutex // guards diags, errs, and directive used bits
+	var diags []Diagnostic
+	var errs []error
+	collect := func(d Diagnostic) {
+		mu.Lock()
+		defer mu.Unlock()
+		d.Suppressed = prog.markSuppressed(d)
+		diags = append(diags, d)
 	}
 	for _, pkg := range prog.Packages {
 		diags = append(diags, pkg.directiveErrs...)
 	}
+
+	type task struct {
+		a   *Analyzer
+		pkg *Package // nil for RunProgram tasks
+	}
+	var tasks []task
 	for _, a := range analyzers {
-		switch {
-		case a.RunProgram != nil:
-			pass := &Pass{Analyzer: a, Program: prog, Fset: prog.Fset, report: collect}
-			if err := a.RunProgram(pass); err != nil {
-				return diags, fmt.Errorf("analysis: %s: %w", a.Name, err)
-			}
-		case a.Run != nil:
-			for _, pkg := range prog.Packages {
-				pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog, Fset: prog.Fset, report: collect}
-				if err := a.Run(pass); err != nil {
-					return diags, fmt.Errorf("analysis: %s: %s: %w", a.Name, pkg.Path, err)
-				}
-			}
-		default:
-			return diags, fmt.Errorf("analysis: %s: neither Run nor RunProgram set", a.Name)
+		if a.RunProgram != nil {
+			tasks = append(tasks, task{a: a})
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			tasks = append(tasks, task{a: a, pkg: pkg})
 		}
 	}
+
+	runTask := func(t task) {
+		pass := &Pass{Analyzer: t.a, Pkg: t.pkg, Program: prog, Fset: prog.Fset, report: collect}
+		var err error
+		if t.pkg == nil {
+			if err = t.a.RunProgram(pass); err != nil {
+				err = fmt.Errorf("analysis: %s: %w", t.a.Name, err)
+			}
+		} else {
+			if err = t.a.Run(pass); err != nil {
+				err = fmt.Errorf("analysis: %s: %s: %w", t.a.Name, t.pkg.Path, err)
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}
+	}
+
+	if opt.Workers <= 1 {
+		for _, t := range tasks {
+			runTask(t)
+		}
+	} else {
+		sem := make(chan struct{}, opt.Workers)
+		var wg sync.WaitGroup
+		for _, t := range tasks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t task) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runTask(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+
+	if opt.StaleIgnores {
+		for _, pkg := range prog.Packages {
+			for _, dirs := range pkg.ignores {
+				for _, dir := range dirs {
+					if dir.used {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: "lint",
+						Message: fmt.Sprintf("stale //lint:ignore %s directive: suppresses no diagnostic",
+							strings.Join(dir.checks, ",")),
+					})
+				}
+			}
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -212,7 +320,14 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return diags, errors.Join(errs...)
+	}
 	return diags, nil
 }

@@ -1,0 +1,221 @@
+package analysis
+
+// Module-wide static call graph, the shared semantic layer under the
+// interprocedural analyzers (lockordercheck, alloccheck, leakcheck).
+// Nodes are the program's function and method declarations; edges are the
+// statically resolvable calls between them, with go/defer launch context
+// preserved. Resolution is conservative:
+//
+//   - Direct calls (f(...)) and method calls on concrete receivers
+//     (x.m(...)) resolve through go/types to their declarations — across
+//     packages, since the loader type-checks the whole module from one
+//     object space.
+//   - Calls through function values, fields of function type, and
+//     interface methods do not resolve; they mark the calling node
+//     Dynamic so analyzers can widen (or document the blind spot).
+//   - Calls to functions outside the loaded program (the standard
+//     library) keep their *types.Func on the edge but have no node.
+//   - Calls made inside a function literal nested in a declaration are
+//     attributed to the enclosing declaration; literals launched by a go
+//     statement (or deferred) carry that flag, since they run outside the
+//     caller's lock/flow context.
+//
+// The graph is built once per Program, lazily, and shared by every
+// analyzer in a run via Program.CallGraph().
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static call graph over one loaded Program.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	// order lists nodes deterministically: by package path, then by
+	// source position of the declaration.
+	order []*CallNode
+}
+
+// CallNode is one function or method declaration.
+type CallNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out lists the node's resolved outgoing calls in source order.
+	Out []CallEdge
+	// Dynamic records that the body also calls through at least one
+	// function value or interface method the graph cannot resolve.
+	Dynamic bool
+}
+
+// CallEdge is one call site inside a node's body (including bodies of
+// nested function literals).
+type CallEdge struct {
+	Site *ast.CallExpr
+	// Callee is the module-internal target, nil when the target is
+	// external (then External is set).
+	Callee *CallNode
+	// External is the target's object when it lies outside the loaded
+	// program (standard library).
+	External *types.Func
+	// Go marks edges launched on a new goroutine — the `go` call itself,
+	// and every call inside a go-launched function literal.
+	Go bool
+	// Deferred marks edges that run at function exit — the deferred call
+	// itself, and every call inside a deferred function literal.
+	Deferred bool
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (prog *Program) CallGraph() *CallGraph {
+	prog.cgOnce.Do(func() { prog.cg = buildCallGraph(prog) })
+	return prog.cg
+}
+
+// Node returns the graph node for a function object (nil for functions
+// outside the loaded program). Generic instantiations resolve to their
+// origin declaration.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns every node in deterministic order (package path, then
+// declaration position).
+func (g *CallGraph) Nodes() []*CallNode {
+	return g.order
+}
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (function values, interface methods),
+// conversions, and builtins. pkg must be the package containing the call.
+func StaticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	fn, _ := resolveCall(pkg, call)
+	return fn
+}
+
+// resolveCall resolves a call target; dynamic reports an unresolvable
+// call through a function value or interface method (false for
+// conversions and builtins, which are not calls an analyzer follows).
+func resolveCall(pkg *Package, call *ast.CallExpr) (fn *types.Func, dynamic bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return obj.Origin(), false
+		case *types.Builtin, *types.TypeName, nil:
+			return nil, false
+		default:
+			return nil, true // function-typed var or similar
+		}
+	case *ast.SelectorExpr:
+		switch obj := pkg.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return nil, true // interface method: target unknown
+				}
+			}
+			return obj.Origin(), false
+		case *types.TypeName, nil:
+			return nil, false
+		default:
+			return nil, true // func-typed field or package var
+		}
+	case *ast.FuncLit:
+		// An immediately invoked literal: its body is walked as part of
+		// the enclosing declaration, so there is no separate edge.
+		return nil, false
+	default:
+		// Conversion to a named function type, index expression, etc.
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return nil, false
+		}
+		return nil, true
+	}
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	for _, n := range g.order {
+		collectEdges(g, n, n.Decl.Body, false, false)
+	}
+	return g
+}
+
+// collectEdges walks a body collecting call edges for node n. inGo and
+// inDefer track whether the current subtree runs on a spawned goroutine
+// or at function exit.
+func collectEdges(g *CallGraph, n *CallNode, body ast.Node, inGo, inDefer bool) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			addEdge(g, n, node.Call, true, inDefer)
+			for _, a := range node.Call.Args {
+				collectEdges(g, n, a, inGo, inDefer)
+			}
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				collectEdges(g, n, lit.Body, true, inDefer)
+			}
+			return false
+		case *ast.DeferStmt:
+			addEdge(g, n, node.Call, inGo, true)
+			for _, a := range node.Call.Args {
+				collectEdges(g, n, a, inGo, inDefer)
+			}
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				collectEdges(g, n, lit.Body, inGo, true)
+			}
+			return false
+		case *ast.CallExpr:
+			addEdge(g, n, node, inGo, inDefer)
+			return true
+		}
+		return true
+	})
+}
+
+func addEdge(g *CallGraph, n *CallNode, call *ast.CallExpr, inGo, inDefer bool) {
+	fn, dynamic := resolveCall(n.Pkg, call)
+	if dynamic {
+		n.Dynamic = true
+		return
+	}
+	if fn == nil {
+		return
+	}
+	edge := CallEdge{Site: call, Go: inGo, Deferred: inDefer}
+	if callee := g.nodes[fn]; callee != nil {
+		edge.Callee = callee
+	} else {
+		edge.External = fn
+	}
+	n.Out = append(n.Out, edge)
+}

@@ -1,0 +1,201 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smoqe/internal/analysis"
+)
+
+// loadModule writes the given files into a temp module and loads every
+// package, returning the program.
+func loadModule(t *testing.T, files map[string]string) *analysis.Program {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module example.test\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.NewProgram(loader.Fset, pkgs)
+}
+
+func TestCallGraphResolution(t *testing.T) {
+	prog := loadModule(t, map[string]string{
+		"a.go": `package a
+
+import (
+	"example.test/b"
+	"os"
+)
+
+type T struct{ n int }
+
+func (t *T) Bump() { t.n++ }
+
+func Direct() {
+	helper()
+	var t T
+	t.Bump()
+	b.Exported()
+	os.Getenv("X")
+}
+
+func helper() {}
+
+func Spawner() {
+	go func() {
+		helper()
+	}()
+	defer helper()
+}
+
+func Dynamic(f func()) {
+	f()
+}
+
+func Literal() {
+	g := func() {}
+	g()
+}
+`,
+		"b/b.go": `package b
+
+// Exported is called cross-package.
+func Exported() {}
+`,
+	})
+	g := prog.CallGraph()
+
+	nodeByName := map[string]*analysis.CallNode{}
+	for _, n := range g.Nodes() {
+		nodeByName[n.Func.Name()] = n
+	}
+	for _, want := range []string{"Bump", "Direct", "helper", "Spawner", "Dynamic", "Literal", "Exported"} {
+		if nodeByName[want] == nil {
+			t.Fatalf("call graph has no node for %s; nodes: %v", want, nodeByName)
+		}
+	}
+
+	// Direct: helper (direct), Bump (method), Exported (cross-package
+	// internal), os.Getenv (external).
+	direct := nodeByName["Direct"]
+	var internal, external []string
+	for _, e := range direct.Out {
+		if e.Callee != nil {
+			internal = append(internal, e.Callee.Func.Name())
+		} else if e.External != nil {
+			external = append(external, e.External.Name())
+		}
+	}
+	wantInternal := map[string]bool{"helper": true, "Bump": true, "Exported": true}
+	if len(internal) != 3 {
+		t.Errorf("Direct internal edges = %v, want helper, Bump, Exported", internal)
+	}
+	for _, n := range internal {
+		if !wantInternal[n] {
+			t.Errorf("unexpected internal edge from Direct to %s", n)
+		}
+	}
+	if len(external) != 1 || external[0] != "Getenv" {
+		t.Errorf("Direct external edges = %v, want [Getenv]", external)
+	}
+	if direct.Dynamic {
+		t.Error("Direct marked Dynamic; it has no unresolved calls")
+	}
+
+	// Spawner: helper twice — once under go (inside the launched literal),
+	// once deferred.
+	spawner := nodeByName["Spawner"]
+	var goEdge, deferEdge bool
+	for _, e := range spawner.Out {
+		if e.Callee != nil && e.Callee.Func.Name() == "helper" {
+			if e.Go {
+				goEdge = true
+			}
+			if e.Deferred {
+				deferEdge = true
+			}
+		}
+	}
+	if !goEdge || !deferEdge {
+		t.Errorf("Spawner edges: go=%v deferred=%v, want both true (edges %v)", goEdge, deferEdge, spawner.Out)
+	}
+
+	// Dynamic and Literal both call through function values: no resolved
+	// edge, node marked Dynamic.
+	for _, name := range []string{"Dynamic", "Literal"} {
+		n := nodeByName[name]
+		if !n.Dynamic {
+			t.Errorf("%s not marked Dynamic", name)
+		}
+		for _, e := range n.Out {
+			if e.Callee != nil {
+				t.Errorf("%s has resolved edge to %s, want none", name, e.Callee.Func.Name())
+			}
+		}
+	}
+}
+
+func TestStaticCallee(t *testing.T) {
+	prog := loadModule(t, map[string]string{
+		"a.go": `package a
+
+func target() {}
+
+type N int
+
+func run() {
+	target()
+	_ = N(1)
+	_ = len("x")
+	f := target
+	f()
+}
+`,
+	})
+	pkg := prog.Packages[0]
+	var calls []*ast.CallExpr
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				calls = append(calls, c)
+			}
+			return true
+		})
+	}
+	if len(calls) != 4 {
+		t.Fatalf("found %d calls, want 4", len(calls))
+	}
+	// target() resolves; conversion, builtin and func-value call do not.
+	if fn := analysis.StaticCallee(pkg, calls[0]); fn == nil || fn.Name() != "target" {
+		t.Errorf("StaticCallee(target()) = %v, want target", fn)
+	}
+	for i, c := range calls[1:] {
+		if fn := analysis.StaticCallee(pkg, c); fn != nil {
+			t.Errorf("StaticCallee(call %d) = %v, want nil", i+1, fn)
+		}
+	}
+}
+
+func TestCallGraphIsLazyAndShared(t *testing.T) {
+	prog := loadModule(t, map[string]string{"a.go": "package a\n\nfunc f() {}\n"})
+	if g1, g2 := prog.CallGraph(), prog.CallGraph(); g1 != g2 {
+		t.Error("CallGraph() built twice for the same program")
+	}
+}

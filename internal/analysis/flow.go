@@ -1,0 +1,234 @@
+package analysis
+
+// Forward intraprocedural dataflow over function bodies — the control-flow
+// half of lockcheck's original walker, extracted so every flow-sensitive
+// analyzer (lockcheck, lockordercheck, alloccheck, leakcheck) shares one
+// branch/termination semantics instead of reimplementing it:
+//
+//   - if/else arms run on cloned states; an arm that terminates (return,
+//     panic, os.Exit, break/continue) does not leak its state past the
+//     branch, so "if hit { ...; return }" merges cleanly.
+//   - Loop bodies run on a clone and may execute zero times: the
+//     after-loop state is the merge of the entry state and the body's
+//     exit state.
+//   - switch/select clauses run on clones; the construct terminates only
+//     when every clause does and one always runs (default, or select).
+//
+// The per-analyzer lattice plugs in through FlowOps: Clone/Merge/Replace
+// define the state algebra, Transfer interprets simple statements, Cond
+// sees every branch condition, and Refine (optional) sharpens an arm's
+// state under the condition's truth value — how alloccheck learns that a
+// count is bounded on the path where `n > max` returned early.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FlowOps configures one forward dataflow walk over statement lists. S is
+// the abstract state and must be a mutable reference type (typically a
+// map): Transfer, Cond and Refine update it in place.
+type FlowOps[S any] struct {
+	// Pkg supplies type information for terminal-call detection.
+	Pkg *Package
+	// Clone returns an independent copy of a state.
+	Clone func(S) S
+	// Merge joins the states of two paths that both reach the same point
+	// (conventionally keeping the weaker facts of each).
+	Merge func(a, b S) S
+	// Replace overwrites dst's contents with src's.
+	Replace func(dst, src S)
+	// Transfer interprets one simple statement (assign, expr, send, defer,
+	// go, return, ...). Control-flow statements never reach it; a range
+	// statement is passed so the analyzer can process X/Key/Value, but its
+	// body is walked by the framework.
+	Transfer func(stmt ast.Stmt, state S)
+	// Cond, if set, sees branch conditions, switch tags and case
+	// expressions before the arms are walked.
+	Cond func(e ast.Expr, state S)
+	// Refine, if set, sharpens an arm's state under the branch condition's
+	// known outcome (true for the then-arm / loop body, false for else).
+	Refine func(cond ast.Expr, outcome bool, state S)
+}
+
+// Walk runs the analysis over a statement list, mutating state to the
+// fall-through result. It reports whether the list always terminates
+// (returns, panics, or branches) before falling through.
+func (f *FlowOps[S]) Walk(stmts []ast.Stmt, state S) bool {
+	for _, s := range stmts {
+		if f.Stmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stmt processes one statement, reporting whether it always terminates.
+func (f *FlowOps[S]) Stmt(s ast.Stmt, state S) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return f.Walk(s.List, state)
+	case *ast.LabeledStmt:
+		return f.Stmt(s.Stmt, state)
+	case *ast.ReturnStmt:
+		f.transfer(s, state)
+		return true
+	case *ast.BranchStmt:
+		f.transfer(s, state)
+		return true
+	case *ast.ExprStmt:
+		f.transfer(s, state)
+		return IsTerminalCall(f.Pkg, s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f.Stmt(s.Init, state)
+		}
+		f.cond(s.Cond, state)
+		thenState := f.Clone(state)
+		f.refine(s.Cond, true, thenState)
+		thenTerm := f.Walk(s.Body.List, thenState)
+		elseState := f.Clone(state)
+		f.refine(s.Cond, false, elseState)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = f.Stmt(s.Else, elseState)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			f.Replace(state, elseState)
+		case elseTerm:
+			f.Replace(state, thenState)
+		default:
+			f.Replace(state, f.Merge(thenState, elseState))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.Stmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			f.cond(s.Cond, state)
+		}
+		body := f.Clone(state)
+		if s.Cond != nil {
+			f.refine(s.Cond, true, body)
+		}
+		f.Walk(s.Body.List, body)
+		if s.Post != nil {
+			f.Stmt(s.Post, body)
+		}
+		// The loop may run zero times or many: join entry and body exit.
+		f.Replace(state, f.Merge(state, body))
+	case *ast.RangeStmt:
+		f.transfer(s, state)
+		body := f.Clone(state)
+		f.Walk(s.Body.List, body)
+		f.Replace(state, f.Merge(state, body))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f.Stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			f.cond(s.Tag, state)
+		}
+		return f.clauses(s.Body, state, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f.Stmt(s.Init, state)
+		}
+		f.Stmt(s.Assign, state)
+		return f.clauses(s.Body, state, false)
+	case *ast.SelectStmt:
+		return f.clauses(s.Body, state, true)
+	default:
+		// Assign, IncDec, Decl, Defer, Go, Send, Empty.
+		f.transfer(s, state)
+	}
+	return false
+}
+
+// clauses walks the case clauses of a switch/select body. Each clause runs
+// on a clone of the entry state; the after state joins the entry with
+// every clause that can fall out. The construct terminates only if every
+// clause terminates and one always runs (default present, or a select).
+func (f *FlowOps[S]) clauses(body *ast.BlockStmt, state S, isSelect bool) bool {
+	allTerm := true
+	hasDefault := false
+	n := 0
+	var exits []S
+	for _, cl := range body.List {
+		n++
+		cs := f.Clone(state)
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				f.cond(e, state)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				f.Stmt(cl.Comm, cs)
+			}
+			stmts = cl.Body
+		}
+		if f.Walk(stmts, cs) {
+			continue
+		}
+		allTerm = false
+		exits = append(exits, cs)
+	}
+	for _, e := range exits {
+		f.Replace(state, f.Merge(state, e))
+	}
+	return n > 0 && allTerm && (isSelect || hasDefault)
+}
+
+func (f *FlowOps[S]) transfer(s ast.Stmt, state S) {
+	if f.Transfer != nil {
+		f.Transfer(s, state)
+	}
+}
+
+func (f *FlowOps[S]) cond(e ast.Expr, state S) {
+	if f.Cond != nil {
+		f.Cond(e, state)
+	}
+}
+
+func (f *FlowOps[S]) refine(cond ast.Expr, outcome bool, state S) {
+	if f.Refine != nil {
+		f.Refine(cond, outcome, state)
+	}
+}
+
+// IsTerminalCall reports whether the expression is a call that never
+// returns: panic(...), os.Exit, or log.Fatal*.
+func IsTerminalCall(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit",
+				fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+
+	"smoqe/internal/analysis"
+)
+
+// flowState is a may-analysis test lattice: the set of variable names that
+// may have been assigned on some path to the current point.
+type flowState map[string]bool
+
+func newFlowOps(pkg *analysis.Package) *analysis.FlowOps[flowState] {
+	return &analysis.FlowOps[flowState]{
+		Pkg: pkg,
+		Clone: func(s flowState) flowState {
+			c := make(flowState, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+		Merge: func(a, b flowState) flowState {
+			m := make(flowState, len(a)+len(b))
+			for k := range a {
+				m[k] = true
+			}
+			for k := range b {
+				m[k] = true
+			}
+			return m
+		},
+		Replace: func(dst, src flowState) {
+			for k := range dst {
+				delete(dst, k)
+			}
+			for k := range src {
+				dst[k] = true
+			}
+		},
+		Transfer: func(stmt ast.Stmt, state flowState) {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					state[id.Name] = true
+				}
+			}
+		},
+	}
+}
+
+// runFlow walks the named function of the fixture source and returns the
+// fall-through state and whether the body terminated.
+func runFlow(t *testing.T, body string) (flowState, bool) {
+	t.Helper()
+	prog := loadModule(t, map[string]string{
+		"a.go": "package a\n\nimport \"os\"\n\nvar _ = os.Exit\n\nfunc probe(c, d bool) {\n" + body + "\n}\n",
+	})
+	pkg := prog.Packages[0]
+	var fn *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "probe" {
+				fn = fd
+			}
+		}
+	}
+	if fn == nil {
+		t.Fatal("probe not found")
+	}
+	state := flowState{}
+	term := newFlowOps(pkg).Walk(fn.Body.List, state)
+	return state, term
+}
+
+func names(s flowState) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+func TestFlowTerminatedBranchDoesNotLeak(t *testing.T) {
+	// The then-arm assigns x but returns; only the else-arm's state
+	// survives to the merge point.
+	state, term := runFlow(t, `
+	if c {
+		x := 1
+		_ = x
+		return
+	} else {
+		y := 2
+		_ = y
+	}
+	z := 3
+	_ = z
+`)
+	if term {
+		t.Error("body reported terminated; else arm falls through")
+	}
+	if got := names(state); got != "_ y z" {
+		t.Errorf("fall-through state = %q, want %q", got, "_ y z")
+	}
+}
+
+func TestFlowBothArmsTerminate(t *testing.T) {
+	state, term := runFlow(t, `
+	if c {
+		return
+	}
+	panic("no")
+`)
+	if !term {
+		t.Error("body with return/panic on every path not reported terminated")
+	}
+	if len(state) != 0 {
+		t.Errorf("terminated body leaked state %v", state)
+	}
+}
+
+func TestFlowLoopMayRunZeroTimes(t *testing.T) {
+	// The loop body's assignment is merged in (may-analysis) but the body
+	// is not treated as always running.
+	state, _ := runFlow(t, `
+	for c {
+		x := 1
+		_ = x
+	}
+	y := 2
+	_ = y
+`)
+	if got := names(state); got != "_ x y" {
+		t.Errorf("after-loop state = %q, want %q (may-merge of body)", got, "_ x y")
+	}
+}
+
+func TestFlowSwitchTerminatesOnlyWithDefault(t *testing.T) {
+	_, term := runFlow(t, `
+	switch {
+	case c:
+		return
+	}
+`)
+	if term {
+		t.Error("switch without default reported as terminating")
+	}
+	_, term = runFlow(t, `
+	switch {
+	case c:
+		return
+	default:
+		panic("x")
+	}
+`)
+	if !term {
+		t.Error("switch with all-terminating clauses and default not terminating")
+	}
+}
+
+func TestFlowTerminalCall(t *testing.T) {
+	_, term := runFlow(t, `
+	os.Exit(1)
+`)
+	if !term {
+		t.Error("os.Exit not treated as terminal")
+	}
+}
+
+func TestFlowRefineSeesConditionOutcome(t *testing.T) {
+	prog := loadModule(t, map[string]string{
+		"a.go": "package a\n\nfunc probe(c bool) {\n\tif c {\n\t\tx := 1\n\t\t_ = x\n\t}\n}\n",
+	})
+	pkg := prog.Packages[0]
+	var fn *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+		}
+	}
+	ops := newFlowOps(pkg)
+	var outcomes []bool
+	ops.Refine = func(cond ast.Expr, outcome bool, state flowState) {
+		outcomes = append(outcomes, outcome)
+	}
+	ops.Walk(fn.Body.List, flowState{})
+	// then-arm refined true, implicit else refined false.
+	if len(outcomes) != 2 || outcomes[0] != true || outcomes[1] != false {
+		t.Errorf("Refine outcomes = %v, want [true false]", outcomes)
+	}
+}

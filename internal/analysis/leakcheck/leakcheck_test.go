@@ -1,0 +1,16 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/leakcheck"
+)
+
+func TestGoroutineTermination(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), leakcheck.Analyzer, "internal/server")
+}
+
+func TestCancelPropagation(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), leakcheck.Analyzer, "a")
+}

@@ -1,0 +1,73 @@
+// Package a exercises the module-wide cancel-propagation check.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// leak forgets cancel on the early-return path.
+func leak(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent) // want `the cancel function returned by context\.WithCancel is not called on every path`
+	if fail {
+		return use(ctx)
+	}
+	cancel()
+	return nil
+}
+
+// deferred is the idiomatic shape: cancel deferred immediately.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return use(ctx)
+}
+
+// discarded throws the cancel away at the call site.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `the cancel function returned by context\.WithCancel is discarded`
+	return ctx
+}
+
+var saved context.CancelFunc
+
+// stored hands the cancel off for a later caller: the obligation moves
+// with it.
+func stored(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	saved = cancel
+	return ctx
+}
+
+// closure captures the cancel; calling it becomes the closure's job.
+func closure(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	stop := func() {
+		cancel()
+	}
+	return ctx, stop
+}
+
+// branch cancels on every path explicitly: clean.
+func branch(parent context.Context, quick bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if quick {
+		cancel()
+		return nil
+	}
+	err := use(ctx)
+	cancel()
+	return err
+}
+
+// suppressedLeak keeps a known leak under a directive.
+func suppressedLeak(parent context.Context) context.Context {
+	//lint:ignore leakcheck fixture coverage for the suppressed case
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}

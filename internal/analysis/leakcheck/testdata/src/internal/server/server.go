@@ -1,0 +1,113 @@
+// Package server exercises goroutine termination in a restricted package.
+package server
+
+import "context"
+
+// spin leaks: the goroutine loops forever with no exit at all.
+func spin() {
+	go func() { // want `goroutine never terminates: the for loop at server\.go:\d+ has no return`
+		for {
+		}
+	}()
+}
+
+// selectBreak looks terminated but is not: the bare break exits the
+// select, not the loop.
+func selectBreak(ctx context.Context, ch chan int) {
+	go func() { // want `a bare break inside select exits the select, not the loop`
+		for {
+			select {
+			case <-ctx.Done():
+				break
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// poll terminates via the ctx.Done() return.
+func poll(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// drain terminates when the channel closes: range, not an infinite for.
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// loop is a named goroutine body with a proper exit.
+func loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// spawnNamed launches the named body: clean.
+func spawnNamed(ctx context.Context) {
+	go loop(ctx)
+}
+
+// badLoop receives forever; after close it spins on zero values.
+func badLoop(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// spawnBad reaches the unterminated loop through a static call.
+func spawnBad(ch chan int) {
+	go badLoop(ch) // want `goroutine never terminates: the for loop at server\.go:\d+ has no return`
+}
+
+// labeled exits via a labeled break: clean.
+func labeled(ch chan int) {
+	go func() {
+	outer:
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+
+// innerBreak only breaks the bounded inner loop, never the outer one.
+func innerBreak(ch chan int) {
+	go func() { // want `goroutine never terminates: the for loop at server\.go:\d+ has no return`
+		for {
+			for i := 0; i < 10; i++ {
+				break
+			}
+			<-ch
+		}
+	}()
+}
+
+// suppressed keeps a deliberate spinner under a directive.
+func suppressed(ch chan int) {
+	//lint:ignore leakcheck fixture coverage for the suppressed case
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

@@ -243,7 +243,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: %s: %w", path, err)
 	}
 	var files []*ast.File
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, ignores: make(map[string][]ignoreDirective)}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, ignores: make(map[string][]*ignoreDirective)}
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {

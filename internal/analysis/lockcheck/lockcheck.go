@@ -1,7 +1,8 @@
 // Package lockcheck verifies mutex annotations: a struct field (or
 // package-level variable) annotated `// guarded by <mu>` must only be read
 // or written while that mutex is held. The check is intraprocedural and
-// flow-aware along straight-line code and branches:
+// flow-aware along straight-line code and branches, driven by the shared
+// analysis.FlowOps walker:
 //
 //   - <base>.mu.Lock() / RLock() raise the lock state for accesses whose
 //     base expression renders identically (l.mu.Lock() guards l.buf, not
@@ -20,7 +21,8 @@
 // The analysis is a heuristic, not a proof: it does not follow calls, so a
 // helper that unlocks behind the caller's back is invisible. It exists to
 // catch the common regression — touching a guarded field on a new code
-// path without taking the lock.
+// path without taking the lock. (Lock-ordering across calls is
+// lockordercheck's job.)
 package lockcheck
 
 import (
@@ -70,6 +72,15 @@ func merge(a, b lockState) lockState {
 	return out
 }
 
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
 // guardInfo describes one guarded object.
 type guardInfo struct {
 	mu       string // mutex name (field or package var)
@@ -78,11 +89,20 @@ type guardInfo struct {
 
 type checker struct {
 	pass    *analysis.Pass
+	ops     *analysis.FlowOps[lockState]
 	guarded map[types.Object]guardInfo
 }
 
 func run(pass *analysis.Pass) error {
 	c := &checker{pass: pass, guarded: make(map[types.Object]guardInfo)}
+	c.ops = &analysis.FlowOps[lockState]{
+		Pkg:      pass.Pkg,
+		Clone:    lockState.clone,
+		Merge:    merge,
+		Replace:  replace,
+		Transfer: c.transfer,
+		Cond:     func(e ast.Expr, state lockState) { c.checkExpr(e, state, false) },
+	}
 	for _, f := range pass.Pkg.Files {
 		c.collectAnnotations(f)
 	}
@@ -99,7 +119,7 @@ func run(pass *analysis.Pass) error {
 			for _, key := range callerHolds(fd.Doc) {
 				state[key] = held{w: 1}
 			}
-			c.walkStmts(fd.Body.List, state)
+			c.ops.Walk(fd.Body.List, state)
 		}
 	}
 	return nil
@@ -189,26 +209,16 @@ func callerHolds(doc *ast.CommentGroup) []string {
 	return keys
 }
 
-// walkStmts walks a statement list tracking lock state; it reports whether
-// the list always terminates (return/panic/branch) before falling through.
-func (c *checker) walkStmts(stmts []ast.Stmt, state lockState) bool {
-	for _, s := range stmts {
-		if c.walkStmt(s, state) {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *checker) walkStmt(s ast.Stmt, state lockState) (terminated bool) {
+// transfer interprets the simple statements; the FlowOps walker owns
+// branching, loops and termination.
+func (c *checker) transfer(s ast.Stmt, state lockState) {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if key, delta, ok := lockCall(c.pass, s.X); ok {
 			c.applyDelta(state, key, delta)
-			return false
+			return
 		}
 		c.checkExpr(s.X, state, false)
-		return isTerminalCall(c.pass, s.X)
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
 			c.checkExpr(rhs, state, false)
@@ -232,48 +242,6 @@ func (c *checker) walkStmt(s ast.Stmt, state lockState) (terminated bool) {
 		for _, r := range s.Results {
 			c.checkExpr(r, state, false)
 		}
-		return true
-	case *ast.BranchStmt:
-		return true
-	case *ast.BlockStmt:
-		return c.walkStmts(s.List, state)
-	case *ast.LabeledStmt:
-		return c.walkStmt(s.Stmt, state)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		c.checkExpr(s.Cond, state, false)
-		thenState := state.clone()
-		thenTerm := c.walkStmts(s.Body.List, thenState)
-		elseState := state.clone()
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = c.walkStmt(s.Else, elseState)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			replace(state, elseState)
-		case elseTerm:
-			replace(state, thenState)
-		default:
-			replace(state, merge(thenState, elseState))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		if s.Cond != nil {
-			c.checkExpr(s.Cond, state, false)
-		}
-		body := state.clone()
-		c.walkStmts(s.Body.List, body)
-		if s.Post != nil {
-			c.walkStmt(s.Post, body)
-		}
-		// The loop may run zero times; keep the entry state.
 	case *ast.RangeStmt:
 		c.checkExpr(s.X, state, false)
 		if s.Key != nil {
@@ -282,33 +250,15 @@ func (c *checker) walkStmt(s ast.Stmt, state lockState) (terminated bool) {
 		if s.Value != nil {
 			c.checkWrite(s.Value, state)
 		}
-		body := state.clone()
-		c.walkStmts(s.Body.List, body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		if s.Tag != nil {
-			c.checkExpr(s.Tag, state, false)
-		}
-		return c.walkClauses(s.Body, state, false)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, state)
-		}
-		c.walkStmt(s.Assign, state)
-		return c.walkClauses(s.Body, state, false)
-	case *ast.SelectStmt:
-		return c.walkClauses(s.Body, state, true)
 	case *ast.DeferStmt:
 		// A deferred Unlock runs at exit — no state change here. A deferred
 		// closure runs at exit too, with unknown lock state: check it cold.
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 			c.walkFuncLit(lit)
-			return false
+			return
 		}
 		if _, _, ok := lockCall(c.pass, s.Call); ok {
-			return false
+			return
 		}
 		for _, a := range s.Call.Args {
 			c.checkExpr(a, state, false)
@@ -317,61 +267,12 @@ func (c *checker) walkStmt(s ast.Stmt, state lockState) (terminated bool) {
 		// A goroutine runs concurrently: no inherited lock state.
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 			c.walkFuncLit(lit)
-			return false
+			return
 		}
 		c.checkExpr(s.Call, state, false)
 	case *ast.SendStmt:
 		c.checkExpr(s.Chan, state, false)
 		c.checkExpr(s.Value, state, false)
-	}
-	return false
-}
-
-// walkClauses walks the case clauses of a switch/select body. The result
-// state is the entry state (a clause may not run); the construct
-// terminates only if every clause terminates and one always runs.
-func (c *checker) walkClauses(body *ast.BlockStmt, state lockState, isSelect bool) bool {
-	allTerm := true
-	hasDefault := false
-	n := 0
-	for _, cl := range body.List {
-		n++
-		var stmts []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			for _, e := range cl.List {
-				c.checkExpr(e, state, false)
-			}
-			if cl.List == nil {
-				hasDefault = true
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			cs := state.clone()
-			if cl.Comm == nil {
-				hasDefault = true
-			} else {
-				c.walkStmt(cl.Comm, cs)
-			}
-			if !c.walkStmts(cl.Body, cs) {
-				allTerm = false
-			}
-			continue
-		}
-		cs := state.clone()
-		if !c.walkStmts(stmts, cs) {
-			allTerm = false
-		}
-	}
-	return n > 0 && allTerm && (isSelect || hasDefault)
-}
-
-func replace(dst, src lockState) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
 	}
 }
 
@@ -416,30 +317,6 @@ func lockCall(pass *analysis.Pass, e ast.Expr) (key string, delta held, ok bool)
 		return "", held{}, false
 	}
 	return types.ExprString(sel.X), delta, true
-}
-
-// isTerminalCall reports whether the expression statement never returns:
-// panic(...) or os.Exit/log.Fatal*.
-func isTerminalCall(pass *analysis.Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "panic" {
-			return true
-		}
-	case *ast.SelectorExpr:
-		if fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
-			switch {
-			case fn.Pkg().Path() == "os" && fn.Name() == "Exit",
-				fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // checkWrite checks an assignment target: the top-level object (selector
@@ -503,7 +380,7 @@ func (c *checker) checkExpr(e ast.Expr, state lockState, write bool) {
 // walkFuncLit checks a function literal's body with no locks held.
 func (c *checker) walkFuncLit(lit *ast.FuncLit) {
 	if lit.Body != nil {
-		c.walkStmts(lit.Body.List, make(lockState))
+		c.ops.Walk(lit.Body.List, make(lockState))
 	}
 }
 

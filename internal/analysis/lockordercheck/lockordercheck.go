@@ -1,0 +1,788 @@
+// Package lockordercheck derives the module-wide lock-acquisition-order
+// graph and diagnoses the two classic mutex deadlocks statically:
+//
+//   - Cycles: if one path acquires A then B and another acquires B then A,
+//     two goroutines can each hold one lock and wait forever for the
+//     other. Every acquisition site whose edge lies on a cycle is
+//     reported, with one witness path.
+//   - Re-acquisition: sync.Mutex is not reentrant, so a call made with a
+//     mutex held must not reach code that locks the same mutex again —
+//     that goroutine deadlocks against itself.
+//
+// Lock classes are the sync.Mutex/sync.RWMutex struct fields and
+// package-level variables of the module, labelled pkg.Type.field and
+// pkg.var. Order edges come from two sources: a nested acquisition on the
+// same path (A held when B.Lock() runs), and a call made with A held to a
+// function whose transitive may-acquire set — computed over the shared
+// call graph, excluding go-launched edges — contains B. Intended orderings
+// are declared in the doc (or trailing) comment of a lock's declaration,
+// mirroring the `guarded by` convention:
+//
+//	// regMu serializes registry swaps. lock order: regMu before cacheMu
+//	var regMu sync.Mutex
+//
+// Declared edges join the graph, so code acquiring against a declared
+// order completes a cycle and is reported; an annotation naming an unknown
+// lock is a diagnostic too. Annotations are only read from var and type
+// declarations — prose elsewhere cannot accidentally declare an order.
+//
+// Known over-approximations (documented in docs/ANALYSIS.md): two
+// instances of the same field class never form an edge between themselves
+// (a.mu → b.mu of one type is skipped, since distinct instances are
+// routinely nested); calls through function values and interfaces are
+// invisible; a may-acquire in the callee counts even when the callee's
+// acquisition is conditional. Re-acquisition through a field mutex is only
+// reported when the call provably targets the same receiver.
+package lockordercheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"smoqe/internal/analysis"
+)
+
+// Analyzer is the lockordercheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockordercheck",
+	Doc:        "lock-acquisition cycles and lock-held calls re-acquiring the same mutex",
+	RunProgram: run,
+}
+
+var (
+	orderRe       = regexp.MustCompile(`lock order:\s*([A-Za-z_][A-Za-z0-9_.]*)\s+before\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+	callerHoldsRe = regexp.MustCompile(`[Cc]aller (?:holds|must hold) ([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// lockClass is one mutex declaration: a struct field or a package-level
+// variable of type sync.Mutex / sync.RWMutex.
+type lockClass struct {
+	label string       // pkg.Type.field or pkg.var
+	obj   types.Object // the field or var object
+	field bool         // struct field (instance-qualified) vs package var
+}
+
+// edge is one observed or declared ordering: from is held when to is
+// acquired.
+type edge struct{ from, to *lockClass }
+
+// heldLock is one currently-held mutex on the walked path.
+type heldLock struct {
+	class *lockClass
+	count int
+}
+
+// orderState maps the rendered mutex expression ("s.mu", "regMu") to its
+// held state. Keys render the instance, so s.mu and other.mu are distinct.
+type orderState map[string]*heldLock
+
+func (s orderState) clone() orderState {
+	c := make(orderState, len(s))
+	for k, v := range s {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+// merge keeps the weaker state per key — a lock is held after a join only
+// if both paths held it.
+func mergeState(a, b orderState) orderState {
+	out := make(orderState)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			n := min(va.count, vb.count)
+			if n > 0 {
+				out[k] = &heldLock{class: va.class, count: n}
+			}
+		}
+	}
+	return out
+}
+
+func replaceState(dst, src orderState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *analysis.CallGraph
+	classes map[types.Object]*lockClass
+	labels  map[string]*lockClass
+
+	// acquires is the transitive may-acquire set per function (go-launched
+	// edges excluded).
+	acquires map[*types.Func]map[*lockClass]bool
+	// recvAcquires is the subset of a method's acquisitions made through
+	// its own receiver — the ones a same-receiver call re-acquires.
+	recvAcquires map[*types.Func]map[*lockClass]bool
+
+	// edges collects ordering edges with every site that witnessed them.
+	edges map[edge][]token.Pos
+	// declared maps declared edges to the annotation's position.
+	declared map[edge]token.Pos
+
+	cur *analysis.CallNode // node being flow-walked
+	ops *analysis.FlowOps[orderState]
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:         pass,
+		graph:        pass.Program.CallGraph(),
+		classes:      make(map[types.Object]*lockClass),
+		labels:       make(map[string]*lockClass),
+		acquires:     make(map[*types.Func]map[*lockClass]bool),
+		recvAcquires: make(map[*types.Func]map[*lockClass]bool),
+		edges:        make(map[edge][]token.Pos),
+		declared:     make(map[edge]token.Pos),
+	}
+	c.ops = &analysis.FlowOps[orderState]{
+		Clone:    orderState.clone,
+		Merge:    mergeState,
+		Replace:  replaceState,
+		Transfer: c.transfer,
+		Cond:     func(e ast.Expr, state orderState) { c.scanCalls(e, state) },
+	}
+	for _, pkg := range pass.Program.Packages {
+		c.collectClasses(pkg)
+	}
+	if len(c.classes) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Program.Packages {
+		c.collectDeclaredOrder(pkg)
+	}
+	c.computeAcquires()
+	for _, n := range c.graph.Nodes() {
+		c.walkNode(n)
+	}
+	c.reportCycles()
+	return nil
+}
+
+// collectClasses finds the package's mutex-typed struct fields and
+// package-level variables.
+func (c *checker) collectClasses(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil || !isMutexType(obj.Type()) {
+								continue
+							}
+							c.addClass(obj, fmt.Sprintf("%s.%s.%s", pkg.Types.Name(), ts.Name.Name, name.Name), true)
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil || !isMutexType(obj.Type()) {
+							continue
+						}
+						c.addClass(obj, fmt.Sprintf("%s.%s", pkg.Types.Name(), name.Name), false)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) addClass(obj types.Object, label string, field bool) {
+	cl := &lockClass{label: label, obj: obj, field: field}
+	c.classes[obj] = cl
+	c.labels[label] = cl
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectDeclaredOrder parses `lock order: a before b` annotations from
+// the comments of var and type declarations (the same places `guarded by`
+// lives) — prose elsewhere cannot declare an order. Names resolve against
+// full labels, or against the annotating package's own locks by shorthand
+// (var name, or Type.field).
+func (c *checker) collectDeclaredOrder(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || (gd.Tok != token.VAR && gd.Tok != token.TYPE) {
+				continue
+			}
+			groups := []*ast.CommentGroup{gd.Doc}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.ValueSpec:
+					groups = append(groups, spec.Doc, spec.Comment)
+				case *ast.TypeSpec:
+					groups = append(groups, spec.Doc, spec.Comment)
+					if st, ok := spec.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							groups = append(groups, field.Doc, field.Comment)
+						}
+					}
+				}
+			}
+			for _, g := range groups {
+				if g == nil {
+					continue
+				}
+				for _, cm := range g.List {
+					c.parseOrderComment(pkg, cm)
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) parseOrderComment(pkg *analysis.Package, cm *ast.Comment) {
+	m := orderRe.FindStringSubmatch(cm.Text)
+	if m == nil {
+		return
+	}
+	from := c.resolveLabel(pkg, m[1])
+	to := c.resolveLabel(pkg, m[2])
+	for i, cl := range []*lockClass{from, to} {
+		if cl == nil {
+			c.pass.Reportf(cm.Pos(), "lock order annotation names unknown lock %q", m[i+1])
+		}
+	}
+	if from == nil || to == nil {
+		return
+	}
+	e := edge{from: from, to: to}
+	if _, ok := c.declared[e]; !ok {
+		c.declared[e] = cm.Pos()
+	}
+}
+
+func (c *checker) resolveLabel(pkg *analysis.Package, name string) *lockClass {
+	if cl := c.labels[name]; cl != nil {
+		return cl
+	}
+	return c.labels[pkg.Types.Name()+"."+name]
+}
+
+// lockDelta recognizes <expr>.Lock/RLock/Unlock/RUnlock() on a mutex class
+// and returns the instance key, the class, and the count delta.
+func (c *checker) lockDelta(pkg *analysis.Package, e ast.Expr) (key string, cl *lockClass, delta int, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", nil, 0, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, 0, false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", nil, 0, false
+	}
+	cl = c.classOfExpr(pkg, sel.X)
+	if cl == nil {
+		return "", nil, 0, false
+	}
+	return types.ExprString(sel.X), cl, delta, true
+}
+
+// classOfExpr maps a mutex expression (regMu, s.mu, pkg.Var) to its class.
+func (c *checker) classOfExpr(pkg *analysis.Package, e ast.Expr) *lockClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return c.classes[pkg.Info.Uses[e]]
+	case *ast.SelectorExpr:
+		return c.classes[pkg.Info.Uses[e.Sel]]
+	}
+	return nil
+}
+
+// computeAcquires builds the transitive may-acquire sets by fixpoint over
+// the call graph. Direct acquisitions include those in nested function
+// literals except go-launched ones (a stored literal may run under the
+// caller's locks); call-graph propagation likewise skips go edges.
+func (c *checker) computeAcquires() {
+	for _, n := range c.graph.Nodes() {
+		direct := make(map[*lockClass]bool)
+		recv := make(map[*lockClass]bool)
+		recvName := receiverName(n.Decl)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if g, ok := node.(*ast.GoStmt); ok {
+				if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+					return false
+				}
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, cl, delta, ok := c.lockDelta(n.Pkg, call)
+			if !ok || delta <= 0 {
+				return true
+			}
+			direct[cl] = true
+			if recvName != "" && key == recvName+"."+cl.obj.Name() {
+				recv[cl] = true
+			}
+			return true
+		})
+		c.acquires[n.Func] = direct
+		c.recvAcquires[n.Func] = recv
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range c.graph.Nodes() {
+			set := c.acquires[n.Func]
+			recv := c.recvAcquires[n.Func]
+			recvName := receiverName(n.Decl)
+			for _, e := range n.Out {
+				if e.Go || e.Callee == nil {
+					continue
+				}
+				for cl := range c.acquires[e.Callee.Func] {
+					if !set[cl] {
+						set[cl] = true
+						changed = true
+					}
+				}
+				// A same-receiver call transfers the callee's own-receiver
+				// acquisitions.
+				if recvName != "" && callReceiverBase(e.Site) == recvName {
+					for cl := range c.recvAcquires[e.Callee.Func] {
+						if !recv[cl] {
+							recv[cl] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// callReceiverBase returns the rendering of a method call's receiver
+// expression ("s" for s.m()), or "" for non-selector calls.
+func callReceiverBase(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return ""
+}
+
+// walkNode flow-walks one declaration, recording order edges and
+// re-acquisitions.
+func (c *checker) walkNode(n *analysis.CallNode) {
+	c.cur = n
+	c.ops.Pkg = n.Pkg
+	state := make(orderState)
+	for _, key := range callerHoldsKeys(n.Decl.Doc) {
+		if cl := c.classOfKey(n, key); cl != nil {
+			state[key] = &heldLock{class: cl, count: 1}
+		}
+	}
+	c.ops.Walk(n.Decl.Body.List, state)
+}
+
+func callerHoldsKeys(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var keys []string
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(doc.Text(), -1) {
+		keys = append(keys, strings.TrimSuffix(m[1], "."))
+	}
+	return keys
+}
+
+// classOfKey resolves a "Caller holds" key ("c.mu" or "regMu") against the
+// walked function's receiver/parameters or the package's variables.
+func (c *checker) classOfKey(n *analysis.CallNode, key string) *lockClass {
+	base, field, hasBase := strings.Cut(key, ".")
+	if !hasBase {
+		// Package-level variable in the node's own package.
+		return c.labels[n.Pkg.Types.Name()+"."+key]
+	}
+	sig := n.Func.Type().(*types.Signature)
+	var baseType types.Type
+	if recv := sig.Recv(); recv != nil && recv.Name() == base {
+		baseType = recv.Type()
+	}
+	for i := 0; baseType == nil && i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); p.Name() == base {
+			baseType = p.Type()
+		}
+	}
+	if baseType == nil {
+		return nil
+	}
+	if ptr, ok := baseType.(*types.Pointer); ok {
+		baseType = ptr.Elem()
+	}
+	st, ok := baseType.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == field {
+			return c.classes[f]
+		}
+	}
+	return nil
+}
+
+// transfer interprets simple statements: lock/unlock calls update the held
+// state, everything else is scanned for calls made under the held locks.
+func (c *checker) transfer(s ast.Stmt, state orderState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, cl, delta, ok := c.lockDelta(c.cur.Pkg, s.X); ok {
+			c.applyLock(s.X.(*ast.CallExpr), state, key, cl, delta)
+			return
+		}
+		c.scanCalls(s.X, state)
+	case *ast.DeferStmt:
+		// Deferred calls run at exit with unknown lock state: a deferred
+		// Unlock is a no-op here, a deferred literal is walked cold.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkLit(lit)
+			return
+		}
+		for _, a := range s.Call.Args {
+			c.scanCalls(a, state)
+		}
+	case *ast.GoStmt:
+		// A goroutine does not inherit the spawner's locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkLit(lit)
+			return
+		}
+		for _, a := range s.Call.Args {
+			c.scanCalls(a, state)
+		}
+	case *ast.RangeStmt:
+		c.scanCalls(s.X, state)
+	default:
+		c.scanCalls(s, state)
+	}
+}
+
+// walkLit flow-walks a function literal with no locks held.
+func (c *checker) walkLit(lit *ast.FuncLit) {
+	if lit.Body != nil {
+		c.ops.Walk(lit.Body.List, make(orderState))
+	}
+}
+
+// applyLock updates the held state for an explicit lock/unlock call,
+// recording order edges and direct re-acquisitions.
+func (c *checker) applyLock(call *ast.CallExpr, state orderState, key string, cl *lockClass, delta int) {
+	if delta < 0 {
+		if h, ok := state[key]; ok {
+			h.count--
+			if h.count <= 0 {
+				delete(state, key)
+			}
+		}
+		return
+	}
+	if h, ok := state[key]; ok && h.count > 0 {
+		c.pass.Reportf(call.Pos(), "re-acquiring %s (%s) already held on this path: sync mutexes are not reentrant", key, cl.label)
+	}
+	for heldKey, h := range state {
+		if h.count <= 0 || heldKey == key {
+			continue
+		}
+		// Distinct instances of one field class are routinely nested
+		// (documented blind spot); only cross-class edges order.
+		if h.class != cl {
+			c.addEdge(h.class, cl, call.Pos())
+		}
+	}
+	if h, ok := state[key]; ok {
+		h.count++
+	} else {
+		state[key] = &heldLock{class: cl, count: 1}
+	}
+}
+
+// scanCalls inspects a statement or expression for call sites made while
+// locks are held, adding order edges to everything the callee may acquire
+// and reporting re-acquisitions. Function literals are walked cold.
+func (c *checker) scanCalls(node ast.Node, state orderState) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkLit(n)
+			return false
+		case *ast.CallExpr:
+			if _, _, _, ok := c.lockDelta(c.cur.Pkg, n); ok {
+				return false // handled by transfer at statement level
+			}
+			c.callUnderLocks(n, state)
+		}
+		return true
+	})
+}
+
+// callUnderLocks records what a call may acquire against the held locks.
+func (c *checker) callUnderLocks(call *ast.CallExpr, state orderState) {
+	if len(state) == 0 {
+		return
+	}
+	fn := analysis.StaticCallee(c.cur.Pkg, call)
+	if fn == nil {
+		return
+	}
+	node := c.graph.Node(fn)
+	if node == nil {
+		return
+	}
+	acq := c.acquires[fn]
+	recvAcq := c.recvAcquires[fn]
+	base := callReceiverBase(call)
+	for key, h := range state {
+		if h.count <= 0 {
+			continue
+		}
+		for cl := range acq {
+			if cl == h.class {
+				continue // re-acquisition, handled below
+			}
+			c.addEdge(h.class, cl, call.Pos())
+		}
+		if !acq[h.class] {
+			continue
+		}
+		switch {
+		case !h.class.field:
+			c.pass.Reportf(call.Pos(), "calling %s with %s held: the callee may re-acquire %s, which is not reentrant",
+				fn.Name(), key, h.class.label)
+		case base != "" && key == base+"."+h.class.obj.Name() && recvAcq[h.class]:
+			c.pass.Reportf(call.Pos(), "calling %s.%s with %s held: the method re-acquires %s, which is not reentrant",
+				base, fn.Name(), key, key)
+		}
+	}
+}
+
+func (c *checker) addEdge(from, to *lockClass, pos token.Pos) {
+	e := edge{from: from, to: to}
+	c.edges[e] = append(c.edges[e], pos)
+}
+
+// reportCycles finds strongly connected components over the combined
+// observed + declared edge graph and reports every observed acquisition
+// site whose edge lies inside one, with a witness path back around.
+func (c *checker) reportCycles() {
+	adj := make(map[*lockClass][]*lockClass)
+	addAdj := func(e edge) {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for e := range c.edges {
+		addAdj(e)
+	}
+	for e := range c.declared {
+		if _, observed := c.edges[e]; !observed {
+			addAdj(e)
+		}
+	}
+	scc := tarjan(adj)
+
+	for e, sites := range c.edges {
+		if scc[e.from] == 0 || scc[e.from] != scc[e.to] {
+			continue
+		}
+		if _, sanctioned := c.declared[e]; sanctioned {
+			continue // the declared direction; blame the inverting sites
+		}
+		path := c.cyclePath(adj, scc, e)
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, pos := range sites {
+			c.pass.Reportf(pos, "acquiring %s while holding %s completes a lock-order cycle: %s",
+				e.to.label, e.from.label, path)
+		}
+	}
+	// A cycle built purely from annotations is a documentation bug.
+	for e := range c.declared {
+		if _, observed := c.edges[e]; observed {
+			continue
+		}
+		if scc[e.from] != 0 && scc[e.from] == scc[e.to] {
+			if !c.sccHasObservedEdge(scc, scc[e.from]) {
+				c.pass.Reportf(c.declared[e], "declared lock orders form a cycle: %s", c.cyclePath(adj, scc, e))
+			}
+		}
+	}
+}
+
+func (c *checker) sccHasObservedEdge(scc map[*lockClass]int, id int) bool {
+	for e := range c.edges {
+		if scc[e.from] == id && scc[e.to] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// cyclePath renders "A → B → … → A" for the cycle the edge completes,
+// following a shortest path from e.to back to e.from inside the SCC.
+func (c *checker) cyclePath(adj map[*lockClass][]*lockClass, scc map[*lockClass]int, e edge) string {
+	id := scc[e.from]
+	prev := map[*lockClass]*lockClass{e.to: nil}
+	queue := []*lockClass{e.to}
+	for len(queue) > 0 && prev[e.from] == nil && e.from != e.to {
+		n := queue[0]
+		queue = queue[1:]
+		next := append([]*lockClass(nil), adj[n]...)
+		sort.Slice(next, func(i, j int) bool { return next[i].label < next[j].label })
+		for _, m := range next {
+			if scc[m] != id {
+				continue
+			}
+			if _, seen := prev[m]; seen {
+				continue
+			}
+			prev[m] = n
+			queue = append(queue, m)
+		}
+	}
+	var back []string
+	for n := e.from; n != nil; n = prev[n] {
+		back = append(back, n.label)
+		if n == e.to {
+			break
+		}
+	}
+	var parts []string
+	parts = append(parts, e.from.label)
+	for i := len(back) - 1; i >= 0; i-- {
+		parts = append(parts, back[i])
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// tarjan assigns SCC ids; only components that contain a cycle (size > 1)
+// get a nonzero id.
+func tarjan(adj map[*lockClass][]*lockClass) map[*lockClass]int {
+	var nodes []*lockClass
+	seen := make(map[*lockClass]bool)
+	add := func(n *lockClass) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].label < nodes[j].label })
+
+	index := make(map[*lockClass]int)
+	low := make(map[*lockClass]int)
+	onStack := make(map[*lockClass]bool)
+	sccOf := make(map[*lockClass]int)
+	var stack []*lockClass
+	next, sccID := 1, 0
+
+	var strongconnect func(v *lockClass)
+	strongconnect = func(v *lockClass) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				low[v] = min(low[v], low[w])
+			} else if onStack[w] {
+				low[v] = min(low[v], index[w])
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*lockClass
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccID++
+				for _, w := range comp {
+					sccOf[w] = sccID
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if index[n] == 0 {
+			strongconnect(n)
+		}
+	}
+	return sccOf
+}

@@ -1,0 +1,16 @@
+package lockordercheck_test
+
+import (
+	"testing"
+
+	"smoqe/internal/analysis/analysistest"
+	"smoqe/internal/analysis/lockordercheck"
+)
+
+func TestObservedCycles(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockordercheck.Analyzer, "a")
+}
+
+func TestDeclaredOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockordercheck.Analyzer, "b")
+}

@@ -1,0 +1,93 @@
+// Package a exercises observed lock-order cycles and re-acquisition.
+package a
+
+import "sync"
+
+var muA sync.Mutex
+
+var muB sync.Mutex
+
+// ab locks muA then muB.
+func ab() {
+	muA.Lock()
+	muB.Lock() // want `acquiring a\.muB while holding a\.muA completes a lock-order cycle: a\.muA -> a\.muB -> a\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// ba locks in the opposite order, completing the cycle.
+func ba() {
+	muB.Lock()
+	muA.Lock() // want `acquiring a\.muA while holding a\.muB completes a lock-order cycle: a\.muB -> a\.muA -> a\.muB`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// lockB acquires muB on behalf of callers.
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// nested reaches muB through a call while holding muA — the same edge as
+// ab, observed interprocedurally.
+func nested() {
+	muA.Lock()
+	lockB() // want `acquiring a\.muB while holding a\.muA completes a lock-order cycle: a\.muA -> a\.muB -> a\.muA`
+	muA.Unlock()
+}
+
+// again re-locks a mutex already held on the same path.
+func again() {
+	muA.Lock()
+	muA.Lock() // want `re-acquiring muA \(a\.muA\) already held on this path`
+	muA.Unlock()
+	muA.Unlock()
+}
+
+// suppressedBA inverts the order under a directive: no diagnostic.
+func suppressedBA() {
+	muB.Lock()
+	//lint:ignore lockordercheck fixture coverage for the suppressed case
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// C is a counter whose methods nest.
+type C struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Incr locks and bumps.
+func (c *C) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Double calls Incr with c.mu already held: the goroutine would deadlock
+// against itself.
+func (c *C) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Incr() // want `calling c\.Incr with c\.mu held: the method re-acquires c\.mu, which is not reentrant`
+}
+
+// pair nests two instances of one class — not an ordering edge (documented
+// blind spot), and not a re-acquisition.
+func pair(x, y *C) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// release drops the lock before the second acquisition: no finding.
+func release() {
+	muA.Lock()
+	muA.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}

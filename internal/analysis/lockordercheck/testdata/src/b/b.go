@@ -1,0 +1,39 @@
+// Package b exercises declared lock orders: the inversion of an annotated
+// ordering, contradictory annotations, and unknown lock names.
+package b
+
+import "sync"
+
+// regMu serializes registry swaps. lock order: regMu before cacheMu
+var regMu sync.Mutex
+
+var cacheMu sync.Mutex
+
+// good follows the declared order: no diagnostic.
+func good() {
+	regMu.Lock()
+	cacheMu.Lock()
+	cacheMu.Unlock()
+	regMu.Unlock()
+}
+
+// bad acquires against the declared order; the declared edge completes the
+// cycle even though no code path locks regMu first here.
+func bad() {
+	cacheMu.Lock()
+	regMu.Lock() // want `acquiring b\.regMu while holding b\.cacheMu completes a lock-order cycle: b\.cacheMu -> b\.regMu -> b\.cacheMu`
+	regMu.Unlock()
+	cacheMu.Unlock()
+}
+
+/* lock order: ghostMu before cacheMu */ // want `lock order annotation names unknown lock "ghostMu"`
+var typoMu sync.Mutex
+
+// Contradictory annotations with no observed edges are a documentation
+// cycle, reported at the annotations themselves.
+
+/* lock order: xMu before yMu */ // want `declared lock orders form a cycle: b\.xMu -> b\.yMu -> b\.xMu`
+var xMu sync.Mutex
+
+/* lock order: yMu before xMu */ // want `declared lock orders form a cycle: b\.yMu -> b\.xMu -> b\.yMu`
+var yMu sync.Mutex
